@@ -1,0 +1,99 @@
+"""Ablation — CUT rule choice (Theorem 4.2 design space).
+
+DESIGN.md calls out CUT as the central load-balancing design decision:
+the depth-residue rule is deterministic-good but touches every color
+class; conditioned sampling touches few edges but needs repair outside
+its w.h.p. regime.  This ablation quantifies the trade on a shared
+workload: leftover volume, leftover sparsity, repair volume, and
+goodness, across ε.
+"""
+
+import math
+import random
+
+from repro.core import CutController, PartialListForestDecomposition, is_cut_good
+from repro.core.augmenting import augment_edge
+from repro.decomposition import acyclic_orientation, h_partition
+from repro.graph import neighborhood
+from repro.graph.generators import line_multigraph, uniform_palette
+from repro.nashwilliams import exact_pseudoarboricity
+
+from harness import emit, format_table, once
+
+SEED = 61
+ALPHA = 3
+LENGTH = 100
+
+
+def _fresh_state():
+    graph = line_multigraph(LENGTH, ALPHA)
+    state = PartialListForestDecomposition(
+        graph, uniform_palette(graph, range(ALPHA + 1))
+    )
+    order = graph.edge_ids()
+    random.Random(SEED).shuffle(order)
+    for eid in order:
+        augment_edge(state, eid)
+    return graph, state
+
+
+def _run(rule, epsilon, probability):
+    graph, state = _fresh_state()
+    orientation = None
+    if rule == "conditioned_sampling":
+        partition = h_partition(graph, 3 * exact_pseudoarboricity(graph))
+        orientation = acyclic_orientation(graph, partition)
+    controller = CutController(
+        state, epsilon, ALPHA, rule=rule, orientation=orientation,
+        probability=probability, seed=SEED,
+    )
+    rng = random.Random(SEED + 1)
+    radius = 8
+    good = 0
+    for _ in range(8):
+        core = neighborhood(graph, [rng.randrange(graph.n)], 2)
+        controller.cut(core, radius)
+        good += int(is_cut_good(state, core, radius))
+    leftover = state.leftover_edges()
+    sparsity = (
+        exact_pseudoarboricity(graph.edge_subgraph(leftover)) if leftover else 0
+    )
+    return [
+        rule if probability is None else f"{rule} (p={probability})",
+        f"{epsilon}",
+        f"{good}/8",
+        len(leftover),
+        sparsity,
+        math.ceil(epsilon * ALPHA),
+        controller.stats.fallback_removed,
+        controller.stats.max_load,
+    ]
+
+
+def bench_ablation_cut_rules(benchmark):
+    rows = []
+
+    def run():
+        for epsilon in (1.0, 0.5):
+            rows.append(_run("depth_residue", epsilon, None))
+            rows.append(_run("conditioned_sampling", epsilon, 0.2))
+            rows.append(_run("conditioned_sampling", epsilon, 0.6))
+
+    once(benchmark, run)
+    table = format_table(
+        f"Ablation: CUT rules (line multigraph l={LENGTH}, alpha={ALPHA}, "
+        "8 invocations, R=8)",
+        [
+            "rule", "eps", "good", "|leftover|", "leftover alpha*",
+            "budget", "repair edges", "max vertex load",
+        ],
+        rows,
+    )
+    emit("ablation_cut_rules", table)
+    for row in rows:
+        assert row[2] == "8/8"  # both rules always end good (repair)
+        assert row[4] <= row[5]  # sparsity within budget
+    # Depth-residue removes more edges but needs no repair.
+    depth = [r for r in rows if r[0] == "depth_residue"]
+    for row in depth:
+        assert row[6] == 0

@@ -1,0 +1,74 @@
+"""Ablation — vertex-color-splitting variants (Theorem 4.9 design space).
+
+The cluster-correlated splitting wastes almost no palette (endpoints
+agree by construction inside clusters) but needs α ≥ Ω(log n) for the
+reserve floor; the independent splitting works under ε²α ≥ Ω(log Δ)
+but pays a (1-p)² agreement tax on every edge.  This ablation measures
+k0/k1 and the palette-waste fraction of both on shared instances.
+"""
+
+from repro.core import cluster_correlated_splitting, independent_splitting
+from repro.graph.generators import random_palettes
+
+from harness import emit, forest_workload, format_table, once
+
+SEED = 71
+EPSILON = 1.0
+
+
+def _waste(palettes, split):
+    total = sum(len(p) for p in palettes.values())
+    kept = sum(len(p) for p in split.palettes_0.values()) + sum(
+        len(p) for p in split.palettes_1.values()
+    )
+    return 1.0 - kept / total
+
+
+def bench_ablation_splitting(benchmark):
+    rows = []
+
+    def run():
+        for alpha in (4, 8):
+            graph = forest_workload(60, alpha, seed=SEED + alpha)
+            size = 6 * alpha
+            palettes = random_palettes(graph, size, 3 * size, seed=SEED)
+
+            cluster = cluster_correlated_splitting(
+                graph, palettes, EPSILON, seed=SEED
+            )
+            rows.append(
+                [
+                    "cluster-correlated", alpha, size,
+                    cluster.k0, cluster.k1,
+                    f"{_waste(palettes, cluster):.2%}",
+                ]
+            )
+
+            # p must satisfy p^2 |Q| >> 1 for the reserve floor (the
+            # theorem's eps^2 alpha >= Omega(log Delta) regime); 0.4
+            # puts these instances inside it.
+            independent = independent_splitting(
+                graph, palettes, EPSILON,
+                reserve_probability=0.4, min_k1=1, seed=SEED,
+            )
+            rows.append(
+                [
+                    "independent (p=0.4)", alpha, size,
+                    independent.k0, independent.k1,
+                    f"{_waste(palettes, independent):.2%}",
+                ]
+            )
+
+    once(benchmark, run)
+    table = format_table(
+        f"Ablation: color-splitting variants (n=60, eps={EPSILON}, "
+        "|Q| = 6 alpha)",
+        ["variant", "alpha", "|Q|", "k0", "k1", "palette waste"],
+        rows,
+    )
+    emit("ablation_splitting", table)
+    # Shape: the cluster variant wastes less palette than independent.
+    for i in range(0, len(rows), 2):
+        cluster_waste = float(rows[i][5].rstrip("%"))
+        indep_waste = float(rows[i + 1][5].rstrip("%"))
+        assert cluster_waste < indep_waste

@@ -1,0 +1,123 @@
+"""Proposition C.1 — the Ω(1/ε) diameter lower bound for multigraphs.
+
+The paper's lower-bound instance: a line of ℓ vertices with α parallel
+edges between neighbors.  Any α(1+ε)-FD of it has a monochromatic tree
+of diameter Ω(1/ε).  The bench (a) re-derives the counting argument on
+our own computed decompositions — each color class of diameter d covers
+at most d(1 + ℓ/(d+1)) edges, so small-diameter decompositions cannot
+cover all (ℓ-1)α edges — and (b) measures the diameters our Theorem 4.6
+algorithm actually produces as ε shrinks, confirming the Ω(1/ε) floor.
+"""
+
+import math
+
+from repro.core import forest_decomposition_algorithm2
+from repro.graph.generators import line_multigraph
+from repro.verify import (
+    check_forest_decomposition,
+    forest_diameter_of_coloring,
+)
+
+from harness import emit, format_table, once
+
+SEED = 47
+ALPHA = 3
+LENGTH = 120
+
+
+def _optimal_line_decomposition(length, alpha, extra):
+    """A hand-optimal (alpha+extra)-FD of the line multigraph with
+    diameter O(alpha/extra) = O(1/eps).
+
+    Track ``t`` (the t-th parallel edge at each position) is normally
+    colored ``t`` but takes a *break* at positions
+    ``p ≡ 2 (t mod half)  (mod 2 half)`` with ``half = ⌈alpha/extra⌉``;
+    the break edge goes to spare color ``alpha + t // half``.  Breaks
+    land only on even residues, so each spare class is a matching
+    (diameter 1), while each track class consists of runs of at most
+    ``2 half - 1`` consecutive edges — diameter O(1/eps), matching the
+    Proposition C.1 floor up to a constant.
+    """
+    graph = line_multigraph(length, alpha)
+    half = max(1, math.ceil(alpha / extra))
+    period = 2 * half
+    eids = graph.edge_ids()  # position-major: alpha parallel per position
+    coloring = {}
+    for position in range(length - 1):
+        for track in range(alpha):
+            eid = eids[position * alpha + track]
+            if position % period == 2 * (track % half):
+                coloring[eid] = alpha + (track // half)
+            else:
+                coloring[eid] = track
+    return graph, coloring
+
+
+def bench_propc1(benchmark):
+    rows = []
+
+    def run():
+        for extra, epsilon in ((3, 1.0), (2, 2 / 3), (1, 1 / 3)):
+            colors = ALPHA + extra
+            graph, optimal = _optimal_line_decomposition(
+                LENGTH, ALPHA, extra
+            )
+            check_forest_decomposition(graph, optimal, max_colors=colors)
+            upper = forest_diameter_of_coloring(graph, optimal)
+            floor = _diameter_floor(LENGTH, ALPHA, colors)
+
+            result = forest_decomposition_algorithm2(
+                graph, epsilon, alpha=ALPHA, diameter_mode="strong",
+                seed=SEED,
+            )
+            check_forest_decomposition(graph, result.coloring)
+            alg_diameter = forest_diameter_of_coloring(graph, result.coloring)
+            rows.append(
+                [
+                    f"{epsilon:.2f}",
+                    colors,
+                    floor,
+                    upper,
+                    result.colors_used,
+                    alg_diameter,
+                ]
+            )
+            assert upper >= floor, "construction beats the counting floor?!"
+            assert alg_diameter >= _diameter_floor(
+                LENGTH, ALPHA, result.colors_used
+            )
+
+    once(benchmark, run)
+    table = format_table(
+        f"Proposition C.1 reproduction: line multigraph (l={LENGTH}, "
+        f"alpha={ALPHA}) — diameter is Theta(1/eps)",
+        [
+            "eps", "colors", "counting floor Omega(1/eps)",
+            "hand-optimal diameter", "Alg2 colors", "Alg2 diameter",
+        ],
+        rows,
+    )
+    emit("propc1_lower_bound", table)
+    # Shape: floor and hand-optimal diameter both rise as eps shrinks,
+    # sandwiching Theta(1/eps).
+    floors = [r[2] for r in rows]
+    uppers = [r[3] for r in rows]
+    assert floors == sorted(floors)
+    assert uppers == sorted(uppers)
+    for row in rows:
+        assert row[3] <= 12 * max(row[2], 1), (
+            f"construction not within O(1) of the floor: {row}"
+        )
+
+
+def _diameter_floor(length, alpha, colors) -> int:
+    """Smallest d such that `colors` forests of diameter d can cover all
+    (length-1)*alpha edges of the line multigraph (Prop C.1 counting)."""
+    total = (length - 1) * alpha
+    for d in range(1, length + 1):
+        # One forest of diameter d on a line covers at most d edges per
+        # window of d+1 vertices: d * ceil(length/(d+1) + 1) edges.
+        per_forest = d * (math.ceil(length / (d + 1)) + 1)
+        if colors * per_forest >= total:
+            return d
+    return length

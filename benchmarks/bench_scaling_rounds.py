@@ -1,0 +1,79 @@
+"""Scaling — charged LOCAL rounds vs n for the main algorithms.
+
+The paper's round bounds are polylogarithmic in n (Table 1: O(log³n/ε)
+to O(log⁴n/ε)).  This bench fixes ε and α and doubles n repeatedly,
+reporting charged rounds for the H-partition baseline, Theorem 2.3
+LSFD, and Algorithm 2 — the reproduction check is that round growth per
+doubling is an additive/polylog increment, not multiplicative in n.
+"""
+
+import math
+
+import repro
+from repro.core import forest_decomposition_algorithm2
+from repro.decomposition import (
+    list_star_forest_decomposition,
+    lsfd_palette_requirement,
+)
+from repro.graph.generators import uniform_palette
+from repro.local import RoundCounter
+from repro.nashwilliams import exact_pseudoarboricity
+
+from harness import emit, forest_workload, format_table, once
+
+SEED = 73
+ALPHA = 3
+EPSILON = 1.0
+
+
+def bench_scaling_rounds(benchmark):
+    rows = []
+
+    def run():
+        for n in (50, 100, 200, 400):
+            graph = forest_workload(n, ALPHA, seed=SEED + n)
+
+            rc_base = RoundCounter()
+            repro.barenboim_elkin_forest_decomposition(
+                graph, EPSILON, rounds=rc_base
+            )
+
+            rc_lsfd = RoundCounter()
+            pseudo = exact_pseudoarboricity(graph)
+            required = lsfd_palette_requirement(pseudo, EPSILON)
+            palettes = uniform_palette(graph, range(required))
+            list_star_forest_decomposition(
+                graph, palettes, pseudo, EPSILON, rc_lsfd
+            )
+
+            rc_alg2 = RoundCounter()
+            forest_decomposition_algorithm2(
+                graph, EPSILON, alpha=ALPHA, seed=SEED, rounds=rc_alg2,
+                radius=8, search_radius=8,
+            )
+
+            rows.append(
+                [
+                    n,
+                    math.ceil(math.log2(n)),
+                    rc_base.total,
+                    rc_lsfd.total,
+                    rc_alg2.total,
+                ]
+            )
+
+    once(benchmark, run)
+    table = format_table(
+        f"Scaling: charged rounds vs n (alpha={ALPHA}, eps={EPSILON}, "
+        "R=R'=8 for Algorithm 2)",
+        ["n", "log2 n", "[BE10] H-partition", "Thm 2.3 LSFD", "Algorithm 2"],
+        rows,
+    )
+    emit("scaling_rounds", table)
+    # Shape: 8x larger n costs each algorithm well under 8x the rounds
+    # (polylog growth, not linear).
+    for column in (2, 3, 4):
+        first, last = rows[0][column], rows[-1][column]
+        assert last <= 6 * max(first, 1), (
+            f"column {column} grew {last}/{first} over 8x n"
+        )

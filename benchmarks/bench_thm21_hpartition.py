@@ -1,0 +1,88 @@
+"""Theorem 2.1 — the H-partition toolbox.
+
+Claims: (1) O(log n/ε) classes with per-vertex forward degree ≤ t;
+(2) acyclic t-orientation; (3) 3t-star-forest decomposition;
+(4) t-list-forest decomposition.  The bench sweeps n to show the
+logarithmic class growth and validates each output at t = ⌊(2+ε)α*⌋.
+"""
+
+import math
+
+from repro.decomposition import (
+    acyclic_orientation,
+    default_threshold,
+    h_partition,
+    list_forest_decomposition_via_hpartition,
+    star_forest_decomposition_via_hpartition,
+)
+from repro.graph.generators import random_palettes
+from repro.local import RoundCounter
+from repro.nashwilliams import exact_pseudoarboricity
+from repro.verify import (
+    check_forest_decomposition,
+    check_hpartition,
+    check_orientation,
+    check_palettes_respected,
+    check_star_forest_decomposition,
+)
+
+from harness import emit, forest_workload, format_table, once
+
+SEED = 23
+EPSILON = 0.5
+ALPHA = 3
+
+
+def bench_thm21(benchmark):
+    rows = []
+
+    def run():
+        for n in (40, 80, 160, 320):
+            graph = forest_workload(n, ALPHA, seed=SEED + n)
+            pseudo = exact_pseudoarboricity(graph)
+            t = default_threshold(pseudo, EPSILON)
+            rc = RoundCounter()
+            partition = h_partition(graph, t, rc)
+            check_hpartition(graph, partition.classes, t)
+
+            orientation = acyclic_orientation(graph, partition, rc)
+            check_orientation(graph, orientation, t, require_acyclic=True)
+
+            star = star_forest_decomposition_via_hpartition(graph, partition, rc)
+            star_colors = check_star_forest_decomposition(
+                graph, star, max_colors=3 * t
+            )
+
+            palettes = random_palettes(graph, t, 3 * t, seed=SEED)
+            lfd = list_forest_decomposition_via_hpartition(
+                graph, partition, palettes, rc
+            )
+            check_forest_decomposition(graph, lfd)
+            check_palettes_respected(lfd, palettes)
+
+            rows.append(
+                [
+                    n,
+                    pseudo,
+                    t,
+                    partition.num_classes,
+                    math.ceil(math.log2(n)),
+                    star_colors,
+                    3 * t,
+                    rc.total,
+                ]
+            )
+
+    once(benchmark, run)
+    table = format_table(
+        f"Theorem 2.1 reproduction (alpha={ALPHA}, eps={EPSILON})",
+        [
+            "n", "alpha*", "t", "H-classes", "log2 n", "3t-SFD colors",
+            "3t cap", "charged rounds",
+        ],
+        rows,
+    )
+    emit("thm21_hpartition", table)
+    # Shape: class count grows logarithmically — doubling n adds O(1).
+    deltas = [rows[i + 1][3] - rows[i][3] for i in range(len(rows) - 1)]
+    assert all(d <= 4 for d in deltas), f"class growth not logarithmic: {deltas}"

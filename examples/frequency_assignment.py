@@ -1,0 +1,59 @@
+"""List-forest decomposition as constrained frequency assignment.
+
+Scenario: links of a backbone network must each be assigned a frequency
+from a per-link *allowed list* (regulatory constraints differ per
+link), such that no frequency's links form a cycle — acyclicity per
+frequency lets each band run a spanning-tree protocol without loops.
+That is exactly list-forest decomposition; Theorem 4.10 solves it with
+per-link lists barely larger than the network's arboricity.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+import math
+from collections import Counter
+
+from repro.core import list_forest_decomposition
+from repro.graph.generators import skewed_palettes, union_of_random_forests
+from repro.nashwilliams import exact_arboricity
+from repro.verify import check_forest_decomposition, check_palettes_respected
+
+
+def main() -> None:
+    # Backbone mesh with arboricity 4.
+    graph = union_of_random_forests(90, 4, seed=17)
+    alpha = exact_arboricity(graph)
+    epsilon = 1.0
+    list_size = 3 * math.ceil((1 + epsilon) * alpha)
+
+    # Adversarially overlapping allowed lists: half of each list comes
+    # from a contested "hot" band.
+    palettes = skewed_palettes(
+        graph, list_size, color_space=3 * list_size,
+        hot_fraction=0.5, seed=3,
+    )
+    print(f"network: n={graph.n}, links={graph.m}, arboricity={alpha}")
+    print(f"allowed list size per link: {list_size} "
+          f"(hot-band contention on half of each list)\n")
+
+    result = list_forest_decomposition(
+        graph, palettes, epsilon, alpha=alpha, seed=9
+    )
+    check_forest_decomposition(graph, result.coloring)
+    check_palettes_respected(result.coloring, palettes)
+
+    usage = Counter(result.coloring.values())
+    print(f"assignment found: {len(usage)} distinct frequencies in use")
+    print(f"busiest frequency carries {max(usage.values())} links "
+          f"(all acyclic)")
+    print(f"splitting quality: k0={result.stats.k0}, "
+          f"k1={result.stats.k1} reserve colors per link")
+    print(f"links rerouted through reserve bands: "
+          f"{result.stats.leftover_size}")
+    print(f"charged LOCAL rounds: {result.rounds.total}")
+    print("\nEvery link respects its allowed list, and every frequency's")
+    print("link set is a forest - loop-free per band.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Low out-degree orientation of a social-style graph (Corollary 1.1).
+
+Sparse-graph algorithms (adjacency labelling, triangle counting,
+dynamic matching) want every vertex to "own" few edges — exactly a
+low-out-degree orientation.  Social networks have small arboricity
+despite heavy-tailed degrees, so the (1+ε)α-orientation of
+Corollary 1.1 assigns each vertex O(α) owned edges even though hubs
+have hundreds of neighbors.
+
+Run:  python examples/social_network_orientation.py
+"""
+
+from collections import Counter
+
+from repro import low_outdegree_orientation
+from repro.graph.generators import preferential_attachment
+from repro.nashwilliams import exact_arboricity, out_degrees
+from repro.verify import check_orientation
+
+
+def main() -> None:
+    # Preferential attachment: heavy-tailed degrees, tiny arboricity.
+    graph = preferential_attachment(300, out_degree=3, seed=11)
+    alpha = exact_arboricity(graph)
+    hub_degree = graph.max_degree()
+    print(f"social graph: n={graph.n}, m={graph.m}, "
+          f"max degree={hub_degree}, arboricity={alpha}")
+
+    for method in ("augmentation", "hpartition"):
+        orientation, bound = low_outdegree_orientation(
+            graph, epsilon=0.5, alpha=alpha, method=method, seed=3
+        )
+        observed = check_orientation(graph, orientation, bound)
+        label = {
+            "augmentation": "paper (Cor 1.1, (1+eps)alpha)",
+            "hpartition": "baseline ([BE10], (2+eps)alpha*)",
+        }[method]
+        print(f"\n{label}:")
+        print(f"  guaranteed out-degree bound: {bound}")
+        print(f"  observed max out-degree:     {observed}")
+        histogram = Counter(out_degrees(graph, orientation).values())
+        print(f"  out-degree histogram:        "
+              f"{dict(sorted(histogram.items()))}")
+
+    print(f"\nEvery vertex owns O(alpha) = O({alpha}) edges even though "
+          f"the biggest hub has {hub_degree} neighbors.")
+
+
+if __name__ == "__main__":
+    main()

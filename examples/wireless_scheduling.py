@@ -1,0 +1,79 @@
+"""Interference-free broadcast scheduling via star-forest decomposition.
+
+A star-forest decomposition is a schedule: in each round (= color),
+every edge transmits simultaneously, and because each color class is a
+set of vertex-disjoint stars, every transmission group has a single
+center — one-to-many broadcast with no vertex serving two groups at
+once.  The number of colors is the schedule length; no schedule can
+beat alpha rounds.
+
+Two constructions compete:
+
+* the classical ``2 alpha`` schedule (two-color the trees of a forest
+  decomposition), and
+* the paper's ``(1+eps) alpha + O(sqrt(log D) + log alpha)`` schedule
+  (Theorem 5.4).
+
+The paper's excess term is *additive*, so the classical construction
+wins at small arboricity and loses as alpha grows — this example
+sweeps alpha to expose the crossover, which is the theorem's content.
+
+Run:  python examples/wireless_scheduling.py
+"""
+
+from repro import star_forest_decomposition
+from repro.core import two_coloring_star_forests
+from repro.graph.generators import union_of_random_forests
+from repro.nashwilliams import exact_arboricity, exact_forest_decomposition
+from repro.verify import check_star_forest_decomposition
+
+
+def schedule_lengths(n: int, alpha: int, epsilon: float, seed: int):
+    graph = union_of_random_forests(n, alpha, seed=seed, simple=True)
+    true_alpha = exact_arboricity(graph)
+
+    baseline = two_coloring_star_forests(
+        graph, exact_forest_decomposition(graph)
+    )
+    baseline_rounds = check_star_forest_decomposition(graph, baseline)
+
+    result = star_forest_decomposition(
+        graph, epsilon=epsilon, alpha=true_alpha, seed=seed
+    )
+    paper_rounds = check_star_forest_decomposition(graph, result.coloring)
+    return graph, true_alpha, baseline_rounds, paper_rounds, result
+
+
+def main() -> None:
+    print("schedule length sweep (n=100):\n")
+    print(f"{'alpha':>6} {'eps':>5} {'lower bound':>12} {'classical 2a':>13} "
+          f"{'paper (Thm 5.4)':>16} {'winner':>10}")
+    for alpha, epsilon in ((6, 0.2), (12, 0.2), (20, 0.2), (28, 0.12)):
+        graph, a, baseline_rounds, paper_rounds, result = schedule_lengths(
+            100, alpha, epsilon=epsilon, seed=23
+        )
+        winner = "paper" if paper_rounds < baseline_rounds else "classical"
+        print(f"{a:>6} {epsilon:>5} {a:>12} {baseline_rounds:>13} "
+              f"{paper_rounds:>16} {winner:>10}")
+
+    print(
+        "\nThe paper's additive O(sqrt(log D) + log alpha) excess loses to"
+        "\nthe classical multiplicative 2x at small alpha and wins once"
+        "\nalpha outgrows it — the crossover the theorem predicts."
+    )
+
+    # Show one round of the largest schedule: disjoint stars.
+    group_color = next(iter(result.coloring.values()))
+    group = [e for e, c in result.coloring.items() if c == group_color]
+    degree = {}
+    for eid in group:
+        u, v = graph.endpoints(eid)
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+    centers = {v for v, d in degree.items() if d > 1}
+    print(f"\nexample round {group_color!r}: {len(group)} simultaneous "
+          f"links in >= {len(centers)} broadcast groups")
+
+
+if __name__ == "__main__":
+    main()

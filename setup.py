@@ -1,0 +1,7 @@
+"""Setup shim for legacy editable installs (offline environment lacks the
+``wheel`` package, so PEP 517 editable builds are unavailable).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

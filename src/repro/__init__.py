@@ -1,0 +1,60 @@
+"""repro — reproduction of Harris, Su & Vu (PODC 2021):
+"On the Locality of Nash-Williams Forest Decomposition and
+Star-Forest Decomposition".
+
+Public API (see README for a tour):
+
+* :class:`repro.MultiGraph` — the multigraph substrate.
+* :func:`repro.forest_decomposition` — (1+ε)α forest decomposition
+  (Algorithm 2 + leftover recoloring; Theorems 4.5/4.6).
+* :func:`repro.list_forest_decomposition` — (1+ε)α list variant
+  (Theorem 4.10).
+* :func:`repro.star_forest_decomposition` /
+  :func:`repro.list_star_forest_decomposition` — Section 5.
+* :func:`repro.low_outdegree_orientation` — Corollary 1.1.
+* :func:`repro.exact_arboricity` / :func:`repro.exact_forest_decomposition`
+  — centralized Nash-Williams ground truth (Gabow–Westermann style).
+* :mod:`repro.verify` — independent validity checkers.
+"""
+
+from .errors import (
+    AugmentationError,
+    ConvergenceError,
+    DecompositionError,
+    GraphError,
+    LocalModelError,
+    PaletteError,
+    ReproError,
+    ValidationError,
+)
+from .graph import MultiGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiGraph",
+    "ReproError",
+    "GraphError",
+    "DecompositionError",
+    "ValidationError",
+    "AugmentationError",
+    "PaletteError",
+    "ConvergenceError",
+    "LocalModelError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazy re-exports of the high-level API (avoids import cycles and
+    keeps ``import repro`` fast)."""
+    import importlib
+
+    if name in ("core", "decomposition", "nashwilliams", "local", "verify", "graph"):
+        return importlib.import_module(f".{name}", __name__)
+    api = importlib.import_module(".core.api", __name__)
+    try:
+        value = getattr(api, name)
+    except AttributeError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    return value

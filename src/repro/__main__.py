@@ -1,0 +1,182 @@
+"""Command-line interface: run the paper's decompositions on edge lists.
+
+Usage examples::
+
+    python -m repro stats graph.txt
+    python -m repro fd graph.txt --epsilon 0.5 --out coloring.txt
+    python -m repro sfd graph.txt --epsilon 0.25
+    python -m repro orient graph.txt --method augmentation
+    python -m repro generate forest-union --n 100 --alpha 4 --out graph.txt
+
+Graphs are plain edge lists (see :mod:`repro.graph.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .graph.io import read_edge_list, write_coloring, write_edge_list
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="edge-list file")
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    parser.add_argument("--alpha", type=int, default=None,
+                        help="arboricity if known (else computed exactly)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="write coloring here")
+    parser.add_argument("--report", action="store_true",
+                        help="print a validity + statistics report")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .nashwilliams import exact_arboricity, exact_pseudoarboricity
+
+    graph = read_edge_list(args.graph)
+    print(f"n = {graph.n}")
+    print(f"m = {graph.m}")
+    print(f"max degree = {graph.max_degree()}")
+    print(f"simple = {graph.is_simple()}")
+    print(f"arboricity = {exact_arboricity(graph)}")
+    print(f"pseudoarboricity = {exact_pseudoarboricity(graph)}")
+    return 0
+
+
+def _cmd_fd(args: argparse.Namespace) -> int:
+    from .core.api import forest_decomposition
+    from .verify import check_forest_decomposition
+
+    graph = read_edge_list(args.graph)
+    result = forest_decomposition(
+        graph, epsilon=args.epsilon, alpha=args.alpha,
+        diameter_mode="auto" if args.bounded_diameter else None,
+        seed=args.seed,
+    )
+    check_forest_decomposition(graph, result.coloring)
+    print(f"forests used: {result.colors_used} "
+          f"(budget (1+eps)alpha = {result.color_budget})")
+    print(f"charged LOCAL rounds: {result.rounds.total}")
+    if args.report:
+        from .verify import summarize_decomposition
+
+        print(summarize_decomposition(graph, result.coloring, "forest"))
+    if args.out:
+        write_coloring(result.coloring, args.out)
+        print(f"coloring written to {args.out}")
+    return 0
+
+
+def _cmd_sfd(args: argparse.Namespace) -> int:
+    from .core.api import star_forest_decomposition
+    from .verify import check_star_forest_decomposition
+
+    graph = read_edge_list(args.graph)
+    result = star_forest_decomposition(
+        graph, epsilon=args.epsilon, alpha=args.alpha, seed=args.seed
+    )
+    count = check_star_forest_decomposition(graph, result.coloring)
+    print(f"star forests used: {count}")
+    print(f"max matching deficit: {result.stats.max_deficit}")
+    print(f"charged LOCAL rounds: {result.rounds.total}")
+    if args.report:
+        from .verify import summarize_decomposition
+
+        print(summarize_decomposition(graph, result.coloring, "star"))
+    if args.out:
+        write_coloring(result.coloring, args.out)
+        print(f"coloring written to {args.out}")
+    return 0
+
+
+def _cmd_orient(args: argparse.Namespace) -> int:
+    from .core.api import low_outdegree_orientation
+    from .verify import check_orientation
+
+    graph = read_edge_list(args.graph)
+    orientation, bound = low_outdegree_orientation(
+        graph, epsilon=args.epsilon, alpha=args.alpha,
+        method=args.method, seed=args.seed,
+    )
+    observed = check_orientation(graph, orientation, bound)
+    print(f"out-degree bound: {bound} (observed max: {observed})")
+    if args.out:
+        write_coloring(orientation, args.out)
+        print(f"orientation (edge -> tail) written to {args.out}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .graph import generators
+
+    if args.family == "forest-union":
+        graph = generators.union_of_random_forests(
+            args.n, args.alpha, seed=args.seed, simple=args.simple
+        )
+    elif args.family == "line-multigraph":
+        graph = generators.line_multigraph(args.n, args.alpha)
+    elif args.family == "grid":
+        side = max(2, int(args.n ** 0.5))
+        graph = generators.grid_graph(side, side)
+    elif args.family == "preferential":
+        graph = generators.preferential_attachment(
+            args.n, args.alpha, seed=args.seed
+        )
+    else:
+        print(f"unknown family {args.family!r}", file=sys.stderr)
+        return 2
+    if args.out:
+        write_edge_list(graph, args.out)
+        print(f"graph (n={graph.n}, m={graph.m}) written to {args.out}")
+    else:
+        write_edge_list(graph, sys.stdout)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nash-Williams forest/star-forest decompositions "
+        "(Harris-Su-Vu, PODC 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="graph statistics incl. exact alpha")
+    p_stats.add_argument("graph")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_fd = sub.add_parser("fd", help="(1+eps)alpha forest decomposition")
+    _add_common(p_fd)
+    p_fd.add_argument("--bounded-diameter", action="store_true")
+    p_fd.set_defaults(func=_cmd_fd)
+
+    p_sfd = sub.add_parser("sfd", help="star-forest decomposition (simple graphs)")
+    _add_common(p_sfd)
+    p_sfd.set_defaults(func=_cmd_sfd)
+
+    p_orient = sub.add_parser("orient", help="(1+eps)alpha orientation")
+    _add_common(p_orient)
+    p_orient.add_argument(
+        "--method", default="augmentation",
+        choices=("augmentation", "hpartition", "exact"),
+    )
+    p_orient.set_defaults(func=_cmd_orient)
+
+    p_gen = sub.add_parser("generate", help="generate a workload graph")
+    p_gen.add_argument(
+        "family",
+        choices=("forest-union", "line-multigraph", "grid", "preferential"),
+    )
+    p_gen.add_argument("--n", type=int, default=50)
+    p_gen.add_argument("--alpha", type=int, default=3)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--simple", action="store_true")
+    p_gen.add_argument("--out", default=None)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

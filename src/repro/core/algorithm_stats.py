@@ -1,0 +1,30 @@
+"""Shared statistics containers for the core pipelines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ListForestStats:
+    """Diagnostics from the Theorem 4.10 pipeline."""
+
+    def __init__(self) -> None:
+        self.k0 = 0  # smallest main-side palette after splitting
+        self.k1 = 0  # smallest reserve-side palette after splitting
+        self.leftover_size = 0
+        self.algorithm2 = None  # Algorithm2Stats of the inner run
+
+
+class StarForestStats:
+    """Diagnostics from the Section 5 pipeline."""
+
+    def __init__(self) -> None:
+        self.matching_deficits: list = []  # per-vertex t - |M_v|
+        self.lll_rounds = 0
+        self.leftover_size = 0
+        self.orientation_bound = 0
+        self.dummy_slots = 0
+
+    @property
+    def max_deficit(self) -> int:
+        return max(self.matching_deficits, default=0)

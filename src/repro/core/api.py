@@ -1,0 +1,198 @@
+"""High-level public API.
+
+These wrappers are what downstream users should call; each maps to one
+headline result of the paper and returns both the decomposition and its
+accounting (colors used, LOCAL rounds charged, diagnostics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..graph.multigraph import MultiGraph
+from ..local.rounds import RoundCounter
+from ..nashwilliams.arboricity import (
+    exact_arboricity,
+    exact_forest_decomposition,
+)
+from ..nashwilliams.pseudoarboricity import exact_pseudoarboricity
+from ..rng import SeedLike
+from ..decomposition.hpartition import (
+    default_threshold,
+    h_partition,
+    star_forest_decomposition_via_hpartition,
+)
+from ..decomposition.lsfd import (
+    list_star_forest_decomposition as _lsfd_theorem23,
+)
+from .forest_decomposition import (
+    Algorithm2Result,
+    ForestDecompositionResult,
+    algorithm2,
+    forest_decomposition_algorithm2,
+)
+from .list_forest import ListForestDecompositionResult, list_forest_decomposition
+from .orientation import low_outdegree_orientation
+from .star_forest import (
+    StarForestResult,
+    list_star_forest_decomposition_amr,
+    star_forest_decomposition_amr,
+    two_coloring_star_forests,
+)
+
+__all__ = [
+    "forest_decomposition",
+    "list_forest_decomposition",
+    "star_forest_decomposition",
+    "list_star_forest_decomposition",
+    "pseudoforest_decomposition",
+    "low_outdegree_orientation",
+    "barenboim_elkin_forest_decomposition",
+    "exact_arboricity",
+    "exact_forest_decomposition",
+    "exact_pseudoarboricity",
+    "algorithm2",
+    "two_coloring_star_forests",
+]
+
+
+def forest_decomposition(
+    graph: MultiGraph,
+    epsilon: float = 0.5,
+    alpha: Optional[int] = None,
+    diameter_mode: Optional[str] = None,
+    cut_rule: str = "depth_residue",
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+) -> ForestDecompositionResult:
+    """(1+ε)α forest decomposition of a multigraph (Theorem 4.6).
+
+    Parameters
+    ----------
+    graph:
+        Any multigraph (no self-loops).
+    epsilon:
+        Excess-color budget: the decomposition targets ~(1+ε)α forests.
+    alpha:
+        The arboricity if known (e.g. by construction); computed
+        exactly (centralized) when omitted.
+    diameter_mode:
+        None for unbounded forest diameter; ``"safe"`` for O(log n/ε);
+        ``"strong"`` for O(1/ε) (regime α ≥ Ω(log n) per Cor. 2.5);
+        ``"auto"`` picks by α.
+    cut_rule:
+        CUT implementation per Theorem 4.2: ``"depth_residue"`` or
+        ``"conditioned_sampling"``.
+
+    Returns a :class:`ForestDecompositionResult` whose ``coloring`` maps
+    every edge id to a forest index, with ``colors_used`` and charged
+    LOCAL ``rounds``.
+    """
+    return forest_decomposition_algorithm2(
+        graph,
+        epsilon,
+        alpha=alpha,
+        cut_rule=cut_rule,
+        diameter_mode=diameter_mode,
+        seed=seed,
+        rounds=rounds,
+    )
+
+
+def star_forest_decomposition(
+    graph: MultiGraph,
+    epsilon: float = 0.25,
+    alpha: Optional[int] = None,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+) -> StarForestResult:
+    """(1+O(ε))α star-forest decomposition of a simple graph
+    (Theorem 5.4(1); regime α ≥ Ω(√log Δ + log α))."""
+    return star_forest_decomposition_amr(
+        graph, epsilon, alpha=alpha, seed=seed, rounds=rounds
+    )
+
+
+def list_star_forest_decomposition(
+    graph: MultiGraph,
+    palettes: Dict[int, Sequence[int]],
+    epsilon: float = 0.05,
+    alpha: Optional[int] = None,
+    method: str = "amr",
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+) -> StarForestResult:
+    """List star-forest decomposition of a simple graph.
+
+    ``method="amr"`` is Theorem 5.4(2) ((1+O(ε))α colors, regime
+    α ≥ Ω(log Δ), palettes ≥ α(1+200ε)); ``method="hpartition"`` is the
+    Theorem 2.3 fallback ((4+ε)α* colors, any α)."""
+    if method == "amr":
+        return list_star_forest_decomposition_amr(
+            graph, palettes, epsilon, alpha=alpha, seed=seed, rounds=rounds
+        )
+    if method == "hpartition":
+        counter = rounds if rounds is not None else RoundCounter()
+        pseudo = exact_pseudoarboricity(graph)
+        coloring = _lsfd_theorem23(
+            graph, palettes, max(1, pseudo), 0.5, counter
+        )
+        colors_used = len(set(coloring.values()))
+        from .algorithm_stats import StarForestStats
+
+        return StarForestResult(coloring, colors_used, counter, StarForestStats())
+    raise ValueError(f"unknown LSFD method {method!r}")
+
+
+def pseudoforest_decomposition(
+    graph: MultiGraph,
+    epsilon: float = 0.5,
+    alpha: Optional[int] = None,
+    method: str = "augmentation",
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+) -> Tuple[Dict[int, int], int]:
+    """(1+ε)α pseudoforest decomposition (the Corollary 1.1 companion).
+
+    A k-orientation is exactly a k-pseudoforest decomposition: rank each
+    vertex's out-edges and each rank class is a functional graph.
+    Returns (coloring, number of pseudoforests)."""
+    from ..nashwilliams.pseudoarboricity import (
+        pseudoforest_decomposition_from_orientation,
+    )
+
+    orientation, bound = low_outdegree_orientation(
+        graph, epsilon, alpha=alpha, method=method, seed=seed, rounds=rounds
+    )
+    coloring = pseudoforest_decomposition_from_orientation(graph, orientation)
+    return coloring, bound
+
+
+def barenboim_elkin_forest_decomposition(
+    graph: MultiGraph,
+    epsilon: float = 0.5,
+    pseudoarboricity: Optional[int] = None,
+    rounds: Optional[RoundCounter] = None,
+) -> Tuple[Dict[int, int], int]:
+    """The (2+ε)α baseline the paper improves on ([BE10] / Theorem 2.1).
+
+    Returns (coloring, number of forests).  The coloring is the
+    H-partition t-forest decomposition with t = ⌊(2+ε)α*⌋ (each
+    vertex's out-edges get distinct forest labels)."""
+    counter = rounds if rounds is not None else RoundCounter()
+    if pseudoarboricity is None:
+        pseudoarboricity = exact_pseudoarboricity(graph)
+    threshold = max(1, default_threshold(pseudoarboricity, epsilon))
+    partition = h_partition(graph, threshold, counter)
+    from ..decomposition.hpartition import (
+        acyclic_orientation,
+        rooted_forests_from_orientation,
+    )
+
+    orientation = acyclic_orientation(graph, partition, counter)
+    forests = rooted_forests_from_orientation(graph, orientation)
+    coloring: Dict[int, int] = {}
+    for label, eids in enumerate(forests):
+        for eid in eids:
+            coloring[eid] = label
+    return coloring, len([f for f in forests if f])

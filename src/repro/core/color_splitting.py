@@ -1,0 +1,212 @@
+"""Vertex-color-splitting (Definition 4.7 / Theorem 4.9).
+
+To recombine list palettes after Algorithm 2, each vertex partitions
+the color space into ``C_{v,0} ⊔ C_{v,1}``; edge palettes split into
+``Q_i(uv) = Q(uv) ∩ C_{u,i} ∩ C_{v,i}``.  Proposition 4.8 then lets two
+decompositions — one on each induced palette family — be overlaid
+without creating monochromatic cycles, because no color can serve a
+vertex on both sides.
+
+Theorem 4.9 gives two randomized constructions:
+
+1. **Cluster-correlated** (α ≥ Ω(log n)): per color, an MPX partial
+   network decomposition correlates nearby vertices' side choices, so
+   an edge's endpoints usually agree; Chernoff + union bound give
+   ``k0 ≥ (1+ε/2)α`` and ``k1 ≥ εα/20`` w.h.p.
+2. **Independent + LLL** (ε²α ≥ Ω(log Δ)): each (vertex, color) picks
+   side 1 with probability ε/10 independently; the per-edge bad events
+   are handled by Moser–Tardos.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConvergenceError, DecompositionError
+from ..graph.multigraph import MultiGraph
+from ..local.rounds import RoundCounter, ensure_counter
+from ..rng import SeedLike, child_rng, make_rng
+from ..decomposition.network_decomposition import partial_network_decomposition
+
+Palettes = Dict[int, Sequence[int]]
+
+
+class VertexColorSplitting:
+    """Per-vertex color partitions plus the induced edge palettes."""
+
+    def __init__(
+        self,
+        side_of: Dict[Tuple[int, int], int],
+        palettes_0: Palettes,
+        palettes_1: Palettes,
+    ) -> None:
+        self._side_of = side_of  # (vertex, color) -> 0 | 1
+        self.palettes_0 = palettes_0
+        self.palettes_1 = palettes_1
+
+    def side(self, vertex: int, color: int) -> int:
+        return self._side_of.get((vertex, color), 0)
+
+    @property
+    def k0(self) -> int:
+        return min((len(p) for p in self.palettes_0.values()), default=0)
+
+    @property
+    def k1(self) -> int:
+        return min((len(p) for p in self.palettes_1.values()), default=0)
+
+
+def _induced_palettes(
+    graph: MultiGraph,
+    palettes: Palettes,
+    side_of: Dict[Tuple[int, int], int],
+) -> Tuple[Palettes, Palettes]:
+    palettes_0: Palettes = {}
+    palettes_1: Palettes = {}
+    for eid, u, v in graph.edges():
+        q0: List[int] = []
+        q1: List[int] = []
+        for color in palettes[eid]:
+            su = side_of.get((u, color), 0)
+            sv = side_of.get((v, color), 0)
+            if su == 0 and sv == 0:
+                q0.append(color)
+            elif su == 1 and sv == 1:
+                q1.append(color)
+        palettes_0[eid] = q0
+        palettes_1[eid] = q1
+    return palettes_0, palettes_1
+
+
+def cluster_correlated_splitting(
+    graph: MultiGraph,
+    palettes: Palettes,
+    epsilon: float,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+) -> VertexColorSplitting:
+    """Theorem 4.9(1): per color, an MPX clustering with β = ε/10 and a
+    per-cluster Bernoulli(1-ε/10) coin choosing side 0."""
+    counter = ensure_counter(rounds)
+    rng = make_rng(seed)
+    beta = max(1e-6, min(1.0, epsilon / 10.0))
+    colors: Set[int] = set()
+    for palette in palettes.values():
+        colors.update(palette)
+
+    side_of: Dict[Tuple[int, int], int] = {}
+    for color in sorted(colors):
+        heads = partial_network_decomposition(
+            graph, beta, seed=child_rng(rng, f"mpx-{color}"), rounds=counter
+        )
+        cluster_side: Dict[int, int] = {}
+        for vertex in graph.vertices():
+            head = heads[vertex]
+            if head not in cluster_side:
+                cluster_side[head] = 0 if rng.random() < 1.0 - epsilon / 10.0 else 1
+            if cluster_side[head] == 1:
+                side_of[(vertex, color)] = 1
+    palettes_0, palettes_1 = _induced_palettes(graph, palettes, side_of)
+    return VertexColorSplitting(side_of, palettes_0, palettes_1)
+
+
+def independent_splitting(
+    graph: MultiGraph,
+    palettes: Palettes,
+    epsilon: float,
+    min_k0: Optional[int] = None,
+    min_k1: Optional[int] = None,
+    reserve_probability: Optional[float] = None,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+    max_rounds: int = 200,
+) -> VertexColorSplitting:
+    """Theorem 4.9(2): independent side choices with Moser–Tardos
+    resampling of the endpoints of deficient edges.
+
+    ``min_k0`` / ``min_k1`` are the per-edge size floors to enforce
+    (defaults: the theorem's (1+ε/2)α-style floors scaled from the
+    smallest input palette: k0 ≥ (1 - ε/5)|Q|, k1 ≥ ε²|Q|/200).
+    ``reserve_probability`` overrides the paper's per-(vertex, color)
+    side-1 probability ε/10; the theorem's regime ε²α ≥ Ω(log Δ) makes
+    the default viable only for large palettes, so callers at small
+    scale may pass a larger value (both floors are enforced either
+    way).
+    """
+    counter = ensure_counter(rounds)
+    rng = make_rng(seed)
+    p1 = reserve_probability if reserve_probability is not None else epsilon / 10.0
+    if not (0.0 < p1 < 1.0):
+        raise DecompositionError(
+            f"reserve probability must be in (0, 1), got {p1}"
+        )
+    min_palette = min((len(p) for p in palettes.values()), default=0)
+    if min_k0 is None:
+        # Mean (1-p1)^2 |Q| minus a 3-sigma margin: at the theorem's
+        # parameters (p1 = ε/10, |Q| = (1+ε)α, ε²α >> 1) this is the
+        # (1+ε/2)α floor; at small palettes it stays satisfiable.
+        mean0 = ((1.0 - p1) ** 2) * min_palette
+        min_k0 = max(1, math.floor(mean0 - 3.0 * math.sqrt(min_palette)))
+    if min_k1 is None:
+        min_k1 = max(1, math.floor((p1 ** 2) * min_palette / 2.0))
+
+    colors_at: Dict[int, Set[int]] = {v: set() for v in graph.vertices()}
+    for eid, u, v in graph.edges():
+        for color in palettes[eid]:
+            colors_at[u].add(color)
+            colors_at[v].add(color)
+
+    side_of: Dict[Tuple[int, int], int] = {}
+    for vertex in graph.vertices():
+        for color in colors_at[vertex]:
+            side_of[(vertex, color)] = 1 if rng.random() < p1 else 0
+
+    def deficient_edges() -> List[int]:
+        bad = []
+        for eid, u, v in graph.edges():
+            q0 = q1 = 0
+            for color in palettes[eid]:
+                su = side_of.get((u, color), 0)
+                sv = side_of.get((v, color), 0)
+                if su == 0 and sv == 0:
+                    q0 += 1
+                elif su == 1 and sv == 1:
+                    q1 += 1
+            if q0 < min_k0 or q1 < min_k1:
+                bad.append(eid)
+        return bad
+
+    for _iteration in range(max_rounds):
+        bad = deficient_edges()
+        counter.charge(1, "splitting LLL round")
+        if not bad:
+            palettes_0, palettes_1 = _induced_palettes(graph, palettes, side_of)
+            return VertexColorSplitting(side_of, palettes_0, palettes_1)
+        resample: Set[int] = set()
+        for eid in bad:
+            u, v = graph.endpoints(eid)
+            resample.add(u)
+            resample.add(v)
+        for vertex in resample:
+            for color in colors_at[vertex]:
+                side_of[(vertex, color)] = 1 if rng.random() < p1 else 0
+
+    raise ConvergenceError(
+        f"color splitting did not satisfy k0>={min_k0}, k1>={min_k1} "
+        f"within {max_rounds} resampling rounds"
+    )
+
+
+def combine_colorings(
+    coloring_0: Dict[int, int], coloring_1: Dict[int, int]
+) -> Dict[int, int]:
+    """Proposition 4.8: overlay two disjoint-support colorings."""
+    overlap = set(coloring_0) & set(coloring_1)
+    if overlap:
+        raise DecompositionError(
+            f"colorings overlap on {len(overlap)} edges (e.g. {sorted(overlap)[:4]})"
+        )
+    combined = dict(coloring_0)
+    combined.update(coloring_1)
+    return combined

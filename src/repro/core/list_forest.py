@@ -1,0 +1,179 @@
+"""(1+ε)α list-forest decomposition (Theorem 4.10).
+
+Pipeline:
+
+1. **Split** each edge's palette into ``Q0`` (main) and ``Q1``
+   (reserve) with a vertex-color-splitting (Theorem 4.9), so that the
+   two phases can be overlaid safely (Proposition 4.8).
+2. **Algorithm 2** on ``Q0`` colors the bulk ``E0``; CUT's leftover has
+   pseudo-arboricity ``O(ε'α)``.
+3. **Diameter reduction** (Proposition 2.4) trims φ0's deep trees,
+   producing a second small leftover.
+4. **Theorem 2.3 LSFD** recolors all leftover edges from their reserve
+   palettes ``Q1`` (stars are forests, so this is a valid LFD part).
+5. **Combine** by Proposition 4.8.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DecompositionError
+from ..graph.multigraph import MultiGraph
+from ..local.rounds import RoundCounter, ensure_counter
+from ..nashwilliams.arboricity import exact_arboricity
+from ..nashwilliams.pseudoarboricity import exact_pseudoarboricity
+from ..rng import SeedLike, child_rng, make_rng
+from ..decomposition.lsfd import list_star_forest_decomposition
+from .algorithm_stats import ListForestStats
+from .color_splitting import (
+    VertexColorSplitting,
+    cluster_correlated_splitting,
+    combine_colorings,
+    independent_splitting,
+)
+from .diameter_reduction import reduce_diameter
+from .forest_decomposition import algorithm2
+
+Palettes = Dict[int, Sequence[int]]
+
+
+class ListForestDecompositionResult:
+    """Final LFD: coloring + accounting."""
+
+    def __init__(
+        self,
+        coloring: Dict[int, int],
+        rounds: RoundCounter,
+        stats: ListForestStats,
+    ) -> None:
+        self.coloring = coloring
+        self.rounds = rounds
+        self.stats = stats
+
+
+def list_forest_decomposition(
+    graph: MultiGraph,
+    palettes: Palettes,
+    epsilon: float,
+    alpha: Optional[int] = None,
+    splitting: str = "cluster",
+    cut_rule: str = "depth_residue",
+    reserve_probability: Optional[float] = None,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+    radius: Optional[int] = None,
+    search_radius: Optional[int] = None,
+) -> ListForestDecompositionResult:
+    """Theorem 4.10: (1+ε)α-LFD of a multigraph.
+
+    ``palettes`` must give every edge at least ``⌈(1+ε)α⌉`` colors.
+    ``splitting`` chooses the Theorem 4.9 variant: ``"cluster"``
+    (α ≥ Ω(log n) regime) or ``"independent"`` (ε²α ≥ Ω(log Δ) regime,
+    LLL-based).
+    """
+    counter = ensure_counter(rounds)
+    rng = make_rng(seed)
+    stats = ListForestStats()
+    if graph.m == 0:
+        return ListForestDecompositionResult({}, counter, stats)
+    if alpha is None:
+        alpha = exact_arboricity(graph)
+
+    with counter.phase("color splitting"):
+        split = _make_splitting(
+            graph, palettes, epsilon, splitting, reserve_probability, rng, counter
+        )
+    stats.k0 = split.k0
+    stats.k1 = split.k1
+
+    # The paper splits ε very conservatively (ε/1000) so the reserve
+    # palettes dominate the leftover's pseudo-arboricity; ε/10 keeps the
+    # same inequality direction at practical scales (PaletteError makes
+    # any violation loud rather than silent).
+    eps_prime = epsilon / 10.0
+    with counter.phase("algorithm2"):
+        result = algorithm2(
+            graph,
+            split.palettes_0,
+            eps_prime,
+            alpha,
+            cut_rule=cut_rule,
+            radius=radius,
+            search_radius=search_radius,
+            seed=child_rng(rng, "alg2"),
+            rounds=counter,
+        )
+    coloring_0 = dict(result.colored)
+    leftover = set(result.leftover)
+    stats.algorithm2 = result.stats
+
+    with counter.phase("diameter reduction"):
+        reduction = reduce_diameter(
+            graph,
+            coloring_0,
+            eps_prime,
+            alpha,
+            mode="auto",
+            seed=child_rng(rng, "diam"),
+            rounds=counter,
+        )
+    coloring_0 = dict(reduction.kept)
+    leftover.update(reduction.deleted)
+    stats.leftover_size = len(leftover)
+
+    with counter.phase("reserve LSFD"):
+        coloring_1 = _reserve_lsfd(
+            graph, sorted(leftover), split.palettes_1, counter
+        )
+
+    combined = combine_colorings(coloring_0, coloring_1)
+    return ListForestDecompositionResult(combined, counter, stats)
+
+
+def _make_splitting(
+    graph: MultiGraph,
+    palettes: Palettes,
+    epsilon: float,
+    mode: str,
+    reserve_probability: Optional[float],
+    rng,
+    counter: RoundCounter,
+) -> VertexColorSplitting:
+    if mode == "cluster":
+        return cluster_correlated_splitting(
+            graph, palettes, epsilon, seed=child_rng(rng, "split"), rounds=counter
+        )
+    if mode == "independent":
+        return independent_splitting(
+            graph,
+            palettes,
+            epsilon,
+            reserve_probability=reserve_probability,
+            seed=child_rng(rng, "split"),
+            rounds=counter,
+        )
+    raise DecompositionError(f"unknown splitting mode {mode!r}")
+
+
+def _reserve_lsfd(
+    graph: MultiGraph,
+    leftover: List[int],
+    reserve_palettes: Palettes,
+    counter: RoundCounter,
+) -> Dict[int, int]:
+    """Color the leftover edges from their reserve palettes via
+    Theorem 2.3 (a star forest is in particular a forest)."""
+    if not leftover:
+        return {}
+    sub = graph.edge_subgraph(leftover)
+    pseudo = max(1, exact_pseudoarboricity(sub))
+    palettes = {eid: reserve_palettes[eid] for eid in leftover}
+    deficient = [eid for eid in leftover if not palettes[eid]]
+    if deficient:
+        raise DecompositionError(
+            f"reserve palettes empty for {len(deficient)} leftover edges; "
+            "increase palette sizes or epsilon"
+        )
+    return list_star_forest_decomposition(sub, palettes, pseudo, 0.5, counter)

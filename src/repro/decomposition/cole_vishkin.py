@@ -1,0 +1,80 @@
+"""Centralized Cole–Vishkin 3-coloring of rooted forests, round-charged.
+
+The distributed algorithm runs in O(log* n) LOCAL rounds ([CV86]; used
+by Theorem 2.1(3)).  This implementation executes the same per-round
+update centrally, charging the round cost to a
+:class:`~repro.local.rounds.RoundCounter`.  The genuinely distributed
+node-program version lives in :mod:`repro.local.algorithms`; the two
+are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..graph.forests import RootedForest
+from ..local.rounds import RoundCounter, ensure_counter
+
+
+def _lowest_differing_bit(a: int, b: int) -> int:
+    return ((a ^ b) & -(a ^ b)).bit_length() - 1
+
+
+def _reduction_iterations(n: int) -> int:
+    bound = max(n, 2)
+    iterations = 0
+    while bound > 6:
+        bound = 2 * ((bound - 1).bit_length())
+        iterations += 1
+    return iterations + 1
+
+
+def three_color_rooted_forest(
+    forest: RootedForest, rounds: Optional[RoundCounter] = None
+) -> Dict[int, int]:
+    """Proper 3-coloring of the vertices of a rooted forest.
+
+    Vertices not spanned by the forest are absent from the result.
+    Charges O(log* n) LOCAL rounds.
+    """
+    counter = ensure_counter(rounds)
+    vertices = forest.vertices()
+    if not vertices:
+        return {}
+
+    color: Dict[int, int] = {v: v for v in vertices}
+    iterations = _reduction_iterations(len(vertices) + max(vertices, default=1))
+
+    # Phase 1: bit reduction to colors in {0..5}.
+    for _ in range(iterations):
+        new_color: Dict[int, int] = {}
+        for v in vertices:
+            parent = forest.parent[v]
+            parent_color = color[parent] if parent is not None else color[v] ^ 1
+            bit = _lowest_differing_bit(color[v], parent_color)
+            new_color[v] = 2 * bit + ((color[v] >> bit) & 1)
+        color = new_color
+    counter.charge(iterations, "cole-vishkin bit reduction")
+
+    # Phase 2: three shift-down + eliminate phases (each 2 rounds).
+    for target in (5, 4, 3):
+        pre = color
+        shifted: Dict[int, int] = {}
+        for v in vertices:
+            parent = forest.parent[v]
+            if parent is not None:
+                shifted[v] = pre[parent]
+            else:
+                shifted[v] = min(c for c in (0, 1, 2) if c != pre[v])
+        color = {}
+        for v in vertices:
+            if shifted[v] == target:
+                parent = forest.parent[v]
+                parent_post = shifted[parent] if parent is not None else -1
+                forbidden = {parent_post, pre[v]}
+                color[v] = min(c for c in (0, 1, 2) if c not in forbidden)
+            else:
+                color[v] = shifted[v]
+        counter.charge(2, "shift-down + eliminate")
+
+    return color

@@ -1,0 +1,214 @@
+"""H-partition and its corollaries (Theorem 2.1, after Barenboim–Elkin).
+
+Given ``t = ⌊(2+ε)α*⌋``, Theorem 2.1 provides, in O(log n/ε) rounds:
+
+1. an *H-partition*: classes ``H_1, ..., H_k`` (k = O(log n/ε)) where
+   every ``v ∈ H_i`` has at most ``t`` neighbors in ``H_i ∪ ... ∪ H_k``;
+2. an *acyclic t-orientation* (out-degree ≤ t, no directed cycle);
+3. a ``3t``-star-forest decomposition;
+4. a ``t``-list-forest decomposition.
+
+These are both the pre-existing baseline the paper improves on (its
+(2+ε)α-FD) and subroutines of the main algorithms (leftover recoloring
+in Theorem 4.6, the 3α-orientation inside CUT, Theorem 2.3's LSFD).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DecompositionError, PaletteError
+from ..graph.forests import RootedForest
+from ..graph.multigraph import MultiGraph
+from ..local.rounds import RoundCounter, ensure_counter
+from .cole_vishkin import three_color_rooted_forest
+
+Orientation = Dict[int, int]  # edge id -> tail vertex
+
+
+class HPartition:
+    """Result of the peeling process: vertex classes + threshold."""
+
+    def __init__(self, classes: Dict[int, int], threshold: int) -> None:
+        self.classes = classes  # vertex -> class index (1-based)
+        self.threshold = threshold
+
+    @property
+    def num_classes(self) -> int:
+        return max(self.classes.values(), default=0)
+
+    def members(self, index: int) -> List[int]:
+        return [v for v, c in self.classes.items() if c == index]
+
+
+def h_partition(
+    graph: MultiGraph,
+    threshold: int,
+    rounds: Optional[RoundCounter] = None,
+    max_iterations: Optional[int] = None,
+) -> HPartition:
+    """Peel vertices of remaining degree <= threshold into classes.
+
+    ``threshold`` must be at least ⌊2·(max subgraph average degree)⌋,
+    e.g. ``⌊(2+ε)α*⌋``; otherwise the peeling stalls and a
+    :class:`DecompositionError` is raised.  Charges one LOCAL round per
+    peeling wave.
+    """
+    counter = ensure_counter(rounds)
+    remaining_degree: Dict[int, int] = {
+        v: graph.degree(v) for v in graph.vertices()
+    }
+    classes: Dict[int, int] = {}
+    alive = set(graph.vertices())
+    wave = 0
+    cap = max_iterations if max_iterations is not None else 4 * graph.n + 8
+
+    while alive:
+        wave += 1
+        if wave > cap:
+            raise DecompositionError(
+                f"H-partition stalled: threshold {threshold} too small"
+            )
+        leaving = [v for v in alive if remaining_degree[v] <= threshold]
+        if not leaving:
+            raise DecompositionError(
+                f"H-partition stalled: threshold {threshold} too small "
+                f"(no vertex of degree <= {threshold} remains)"
+            )
+        for v in leaving:
+            classes[v] = wave
+        leaving_set = set(leaving)
+        alive -= leaving_set
+        for v in leaving:
+            for _eid, other in graph.incident(v):
+                if other in alive:
+                    remaining_degree[other] -= 1
+        counter.charge(1, "H-partition wave")
+
+    return HPartition(classes, threshold)
+
+
+def default_threshold(pseudoarboricity: int, epsilon: float) -> int:
+    """``t = ⌊(2+ε)α*⌋`` as in Theorem 2.1."""
+    return int(math.floor((2.0 + epsilon) * pseudoarboricity))
+
+
+def acyclic_orientation(
+    graph: MultiGraph,
+    partition: HPartition,
+    rounds: Optional[RoundCounter] = None,
+) -> Orientation:
+    """Theorem 2.1(2): orient low class -> high class, ties by vertex id.
+
+    The result is acyclic with out-degree at most the partition
+    threshold.  Charges one round (purely local decision per edge).
+    """
+    counter = ensure_counter(rounds)
+    classes = partition.classes
+    orientation: Orientation = {}
+    for eid, u, v in graph.edges():
+        cu, cv = classes[u], classes[v]
+        if (cu, u) < (cv, v):
+            orientation[eid] = u
+        else:
+            orientation[eid] = v
+    counter.charge(1, "orientation")
+    return orientation
+
+
+def out_edges_by_vertex(
+    graph: MultiGraph, orientation: Orientation
+) -> Dict[int, List[int]]:
+    """Group edge ids by their tail vertex (vertices with none included)."""
+    out: Dict[int, List[int]] = {v: [] for v in graph.vertices()}
+    for eid, tail in orientation.items():
+        out[tail].append(eid)
+    return out
+
+
+def rooted_forests_from_orientation(
+    graph: MultiGraph, orientation: Orientation
+) -> List[List[int]]:
+    """Split edges into forests by ranking each vertex's out-edges.
+
+    With an *acyclic* t-orientation, giving each vertex's out-edges
+    distinct labels 0..t-1 yields t forests (each label class has at
+    most one out-edge per vertex and no cycles).  Returns a list of
+    edge-id lists, one per label.
+    """
+    by_vertex = out_edges_by_vertex(graph, orientation)
+    t = max((len(edges) for edges in by_vertex.values()), default=0)
+    forests: List[List[int]] = [[] for _ in range(t)]
+    for _v, edges in by_vertex.items():
+        for index, eid in enumerate(sorted(edges)):
+            forests[index].append(eid)
+    return forests
+
+
+def star_forest_decomposition_via_hpartition(
+    graph: MultiGraph,
+    partition: HPartition,
+    rounds: Optional[RoundCounter] = None,
+) -> Dict[int, Tuple[int, int]]:
+    """Theorem 2.1(3): a ``3t``-star-forest decomposition.
+
+    Returns edge id -> (forest label, parent 3-color); the pair is the
+    star-forest color.  Each label class is a rooted forest (edges point
+    to parents); Cole–Vishkin 3-colors its vertices and each edge takes
+    its parent's color, splitting the forest into 3 star-forests.
+    """
+    counter = ensure_counter(rounds)
+    orientation = acyclic_orientation(graph, partition, counter)
+    forests = rooted_forests_from_orientation(graph, orientation)
+    coloring: Dict[int, Tuple[int, int]] = {}
+    for label, eids in enumerate(forests):
+        if not eids:
+            continue
+        # Parent of edge (u -> v) is v: edges point from child to parent
+        # (each vertex has at most one out-edge per label).
+        forest = RootedForest(graph, eids)
+        vertex_colors = three_color_rooted_forest(forest, counter)
+        for eid in eids:
+            u, v = graph.endpoints(eid)
+            tail = orientation[eid]
+            head = v if tail == u else u
+            coloring[eid] = (label, vertex_colors[head])
+    return coloring
+
+
+def list_forest_decomposition_via_hpartition(
+    graph: MultiGraph,
+    partition: HPartition,
+    palettes: Dict[int, Sequence[int]],
+    rounds: Optional[RoundCounter] = None,
+) -> Dict[int, int]:
+    """Theorem 2.1(4): a ``t``-list-forest decomposition.
+
+    Every palette must have at least ``t`` colors, where ``t`` is the
+    partition threshold.  For each vertex, its out-edges pick distinct
+    palette colors greedily; the acyclicity of the orientation makes
+    every color class acyclic.  Charges O(1) rounds.
+    """
+    counter = ensure_counter(rounds)
+    orientation = acyclic_orientation(graph, partition, counter)
+    by_vertex = out_edges_by_vertex(graph, orientation)
+    coloring: Dict[int, int] = {}
+    for vertex, eids in by_vertex.items():
+        used: set = set()
+        for eid in sorted(eids):
+            palette = palettes[eid]
+            chosen = None
+            for color in palette:
+                if color not in used:
+                    chosen = color
+                    break
+            if chosen is None:
+                raise PaletteError(
+                    f"palette of edge {eid} exhausted at vertex {vertex}: "
+                    f"need more than {len(used)} colors"
+                )
+            used.add(chosen)
+            coloring[eid] = chosen
+    counter.charge(1, "per-vertex palette picking")
+    return coloring

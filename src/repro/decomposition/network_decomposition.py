@@ -1,0 +1,233 @@
+"""Network decompositions.
+
+Two constructions, matching the two notions used by the paper
+(Section 1.1):
+
+* :func:`network_decomposition` — a ``(D, χ)``-network decomposition
+  with ``D = O(log n)`` and ``χ = O(log n)``: a partition of vertices
+  into χ classes such that every connected component (cluster) of every
+  class has strong diameter at most D.  We use deterministic ball
+  carving with a doubling radius: grow a BFS ball until the next shell
+  would at most double it, carve the ball as a cluster, and defer its
+  boundary shell to later classes.  Each class absorbs at least half of
+  the vertices that remain, so O(log n) classes suffice, and each ball
+  stops growing within log2(n) steps, so cluster radius is O(log n).
+  The LOCAL round cost charged follows the randomized algorithms the
+  paper cites ([LS93, EN16]: O(log² n) rounds on G, times the radius
+  when applied to a power graph).
+
+* :func:`partial_network_decomposition` — the ``(O(log n / β), β)``
+  *partial* decomposition of [MPX13] (random exponential shifts): a
+  partition into clusters of radius O(log n / β) such that each edge is
+  cut (endpoints in different clusters) with probability at most β.
+  Used by the vertex-color-splitting step (Theorem 4.9).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DecompositionError
+from ..graph.multigraph import MultiGraph
+from ..local.rounds import RoundCounter, ensure_counter
+from ..rng import SeedLike, make_rng
+
+
+class NetworkDecomposition:
+    """A (D, chi) network decomposition: classes of disjoint clusters."""
+
+    def __init__(self, classes: List[List[List[int]]]) -> None:
+        # classes[z] = list of clusters; cluster = sorted vertex list.
+        self.classes = classes
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def all_clusters(self) -> List[Tuple[int, List[int]]]:
+        """(class index, cluster) pairs, in processing order."""
+        return [
+            (z, cluster)
+            for z, clusters in enumerate(self.classes)
+            for cluster in clusters
+        ]
+
+    def vertex_classes(self) -> Dict[int, int]:
+        """vertex -> class index."""
+        out: Dict[int, int] = {}
+        for z, clusters in enumerate(self.classes):
+            for cluster in clusters:
+                for v in cluster:
+                    out[v] = z
+        return out
+
+
+def network_decomposition(
+    graph: MultiGraph,
+    rounds: Optional[RoundCounter] = None,
+    radius_cost: int = 1,
+) -> NetworkDecomposition:
+    """Deterministic (O(log n), O(log n)) network decomposition.
+
+    ``radius_cost`` scales the charged rounds when the decomposition is
+    (conceptually) computed on a power graph ``G^r`` simulated over G:
+    pass ``r``.  Charged cost: O(log² n) * radius_cost, following the
+    algorithms cited by Theorem 4.1.
+    """
+    counter = ensure_counter(rounds)
+    n = graph.n
+    if n == 0:
+        return NetworkDecomposition([])
+
+    remaining: Set[int] = set(graph.vertices())
+    classes: List[List[List[int]]] = []
+    guard = 2 * max(1, math.ceil(math.log2(n + 1))) + 4
+
+    while remaining:
+        if len(classes) > guard:
+            raise DecompositionError("network decomposition did not converge")
+        clusters: List[List[int]] = []
+        unvisited = set(remaining)
+        while unvisited:
+            seed_vertex = min(unvisited)
+            ball, shell = _grow_doubling_ball(graph, seed_vertex, unvisited)
+            clusters.append(sorted(ball))
+            unvisited -= ball
+            unvisited -= shell
+            remaining -= ball
+        classes.append(clusters)
+
+    log_n = max(1, math.ceil(math.log2(n + 1)))
+    counter.charge(log_n * log_n * max(1, radius_cost), "network decomposition")
+    return NetworkDecomposition(classes)
+
+
+def _grow_doubling_ball(
+    graph: MultiGraph, center: int, allowed: Set[int]
+) -> Tuple[Set[int], Set[int]]:
+    """Grow a BFS ball inside ``allowed`` until the next shell would not
+    double it; return (ball, next shell)."""
+    ball: Set[int] = {center}
+    frontier: Set[int] = {center}
+    while True:
+        shell: Set[int] = set()
+        for v in frontier:
+            for other in graph.neighbors(v):
+                if other in allowed and other not in ball:
+                    shell.add(other)
+        if not shell:
+            return ball, set()
+        if len(ball) + len(shell) <= 2 * len(ball):
+            return ball, shell
+        ball |= shell
+        frontier = shell
+
+
+def validate_network_decomposition(
+    graph: MultiGraph,
+    decomposition: NetworkDecomposition,
+    max_diameter: int,
+    max_classes: int,
+) -> None:
+    """Raise :class:`DecompositionError` on any violated guarantee.
+
+    Checks: classes partition V; clusters of one class are pairwise
+    non-adjacent; every cluster is connected with strong diameter at
+    most ``max_diameter``; class count at most ``max_classes``.
+    """
+    from ..graph.traversal import diameter_of_component
+
+    seen: Set[int] = set()
+    if decomposition.num_classes > max_classes:
+        raise DecompositionError(
+            f"{decomposition.num_classes} classes exceed cap {max_classes}"
+        )
+    for z, clusters in enumerate(decomposition.classes):
+        in_class: Dict[int, int] = {}
+        for index, cluster in enumerate(clusters):
+            for v in cluster:
+                if v in seen:
+                    raise DecompositionError(f"vertex {v} in two clusters")
+                seen.add(v)
+                in_class[v] = index
+            diameter = diameter_of_component(graph, cluster)
+            if diameter > max_diameter:
+                raise DecompositionError(
+                    f"cluster diameter {diameter} exceeds {max_diameter}"
+                )
+        for v, index in in_class.items():
+            for other in graph.neighbors(v):
+                if other in in_class and in_class[other] != index:
+                    raise DecompositionError(
+                        f"clusters {index} and {in_class[other]} of class {z} "
+                        f"are adjacent via edge {v}-{other}"
+                    )
+    if seen != set(graph.vertices()):
+        raise DecompositionError("decomposition does not cover all vertices")
+
+
+# ----------------------------------------------------------------------
+# Partial network decomposition (Miller–Peng–Xu random shifts)
+# ----------------------------------------------------------------------
+
+
+def partial_network_decomposition(
+    graph: MultiGraph,
+    beta: float,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+) -> Dict[int, int]:
+    """MPX random-shift clustering: vertex -> cluster head.
+
+    Each vertex ``u`` draws ``δ_u ~ Exponential(β)``; vertex ``v`` joins
+    the cluster of the head ``u`` minimizing ``d(u, v) - δ_u``.  Cluster
+    radius is ``O(log n / β)`` w.h.p. and every edge is cut with
+    probability at most ~β.  Charged rounds: O(log n / β).
+    """
+    if not (0.0 < beta <= 1.0):
+        raise DecompositionError(f"beta must be in (0, 1], got {beta}")
+    counter = ensure_counter(rounds)
+    rng = make_rng(seed)
+    n = graph.n
+    if n == 0:
+        return {}
+
+    shift: Dict[int, float] = {
+        v: rng.expovariate(beta) for v in graph.vertices()
+    }
+    # Dijkstra-style sweep with unit edges and head start times -shift.
+    import heapq
+
+    best: Dict[int, float] = {}
+    head_of: Dict[int, int] = {}
+    heap: List[Tuple[float, int, int]] = []
+    for v in graph.vertices():
+        start = -shift[v]
+        best[v] = start
+        head_of[v] = v
+        heapq.heappush(heap, (start, v, v))
+    while heap:
+        time, vertex, head = heapq.heappop(heap)
+        if head_of[vertex] != head or best[vertex] != time:
+            continue
+        for other in graph.neighbors(vertex):
+            candidate = time + 1.0
+            if candidate < best.get(other, math.inf):
+                best[other] = candidate
+                head_of[other] = head
+                heapq.heappush(heap, (candidate, other, head))
+
+    expected_radius = math.ceil(math.log(max(n, 2)) / beta) + 1
+    counter.charge(expected_radius, "MPX partial network decomposition")
+    return head_of
+
+
+def cut_edges_of_clustering(
+    graph: MultiGraph, head_of: Dict[int, int]
+) -> List[int]:
+    """Edge ids whose endpoints lie in different MPX clusters."""
+    return [
+        eid for eid, u, v in graph.edges() if head_of[u] != head_of[v]
+    ]

@@ -1,0 +1,279 @@
+"""Rooted-forest utilities.
+
+A *forest* here is a set of edge ids of a host :class:`MultiGraph` that
+induces an acyclic subgraph.  The paper constantly roots the trees of a
+color class, measures depths, cuts edges at depth residues, and
+two-colors trees to extract star-forests — those operations live here.
+
+The *strong diameter* of a tree is the length of its longest path using
+only tree edges, matching the paper's definition of the diameter of a
+decomposition (Section 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import GraphError
+from .multigraph import MultiGraph
+from .union_find import UnionFind
+
+
+def is_forest(graph: MultiGraph, eids: Iterable[int]) -> bool:
+    """True if the given edges contain no cycle (parallel edges count)."""
+    uf = UnionFind()
+    for eid in eids:
+        u, v = graph.endpoints(eid)
+        if not uf.union(u, v):
+            return False
+    return True
+
+
+class RootedForest:
+    """A forest of a host graph, rooted and depth-annotated.
+
+    Parameters
+    ----------
+    graph:
+        Host multigraph.
+    eids:
+        Edge ids forming the forest (validated).
+    roots:
+        Optional preferred roots.  Each tree is rooted at its first
+        member appearing in ``roots``; trees containing no preferred
+        root use their minimum vertex.
+    """
+
+    def __init__(
+        self,
+        graph: MultiGraph,
+        eids: Iterable[int],
+        roots: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.graph = graph
+        self.eids: List[int] = list(eids)
+        if not is_forest(graph, self.eids):
+            raise GraphError("edge set is not a forest")
+        preferred = set(roots) if roots is not None else set()
+
+        # Adjacency restricted to forest edges.
+        self._adj: Dict[int, List[Tuple[int, int]]] = {}
+        for eid in self.eids:
+            u, v = graph.endpoints(eid)
+            self._adj.setdefault(u, []).append((eid, v))
+            self._adj.setdefault(v, []).append((eid, u))
+
+        self.parent: Dict[int, Optional[int]] = {}
+        self.parent_edge: Dict[int, Optional[int]] = {}
+        self.depth: Dict[int, int] = {}
+        self.root_of: Dict[int, int] = {}
+        self.roots: List[int] = []
+        self._children: Dict[int, List[int]] = {}
+
+        visited: Set[int] = set()
+        for component in self._components():
+            root = min(component)
+            for candidate in sorted(component):
+                if candidate in preferred:
+                    root = candidate
+                    break
+            self.roots.append(root)
+            self._root_tree(root, visited)
+
+    def _components(self) -> List[List[int]]:
+        seen: Set[int] = set()
+        comps: List[List[int]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = [start]
+            seen.add(start)
+            queue = deque([start])
+            while queue:
+                vertex = queue.popleft()
+                for _eid, other in self._adj[vertex]:
+                    if other not in seen:
+                        seen.add(other)
+                        comp.append(other)
+                        queue.append(other)
+            comps.append(comp)
+        return comps
+
+    def _root_tree(self, root: int, visited: Set[int]) -> None:
+        self.parent[root] = None
+        self.parent_edge[root] = None
+        self.depth[root] = 0
+        self.root_of[root] = root
+        visited.add(root)
+        queue = deque([root])
+        while queue:
+            vertex = queue.popleft()
+            for eid, other in self._adj[vertex]:
+                if other not in visited:
+                    visited.add(other)
+                    self.parent[other] = vertex
+                    self.parent_edge[other] = eid
+                    self.depth[other] = self.depth[vertex] + 1
+                    self.root_of[other] = root
+                    self._children.setdefault(vertex, []).append(other)
+                    queue.append(other)
+
+    # ------------------------------------------------------------------
+
+    def vertices(self) -> List[int]:
+        """Vertices spanned by the forest."""
+        return list(self.parent.keys())
+
+    def children(self, vertex: int) -> List[int]:
+        return list(self._children.get(vertex, ()))
+
+    def tree_vertices(self, root: int) -> List[int]:
+        """All vertices in the tree rooted at ``root``."""
+        return [v for v, r in self.root_of.items() if r == root]
+
+    def max_depth(self) -> int:
+        """Deepest vertex over all trees (0 for an edgeless forest)."""
+        return max(self.depth.values(), default=0)
+
+    def path_to_root(self, vertex: int) -> List[int]:
+        """Vertices from ``vertex`` up to (and including) its root."""
+        path = [vertex]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])  # type: ignore[arg-type]
+        return path
+
+    def edges_at_depth_residue(self, residue: int, modulus: int) -> List[int]:
+        """Parent edges of vertices whose depth ``d`` satisfies
+        ``d % modulus == residue`` (and d > 0).
+
+        This is the deletion rule of Theorem 4.2(2): removing these
+        edges caps every remaining root-to-leaf chain at ``modulus``.
+        """
+        if modulus <= 0:
+            raise GraphError("modulus must be positive")
+        out = []
+        for vertex, d in self.depth.items():
+            if d > 0 and d % modulus == residue % modulus:
+                eid = self.parent_edge[vertex]
+                assert eid is not None
+                out.append(eid)
+        return out
+
+    def strong_diameters(self) -> Dict[int, int]:
+        """Strong diameter of each tree, keyed by root.
+
+        Computed by the classic double-BFS trick, valid on trees.
+        """
+        diameters: Dict[int, int] = {}
+        for root in self.roots:
+            far_vertex, _ = self._farthest_from(root)
+            _, diameter = self._farthest_from(far_vertex)
+            diameters[root] = diameter
+        return diameters
+
+    def max_strong_diameter(self) -> int:
+        """Largest strong diameter over all trees (0 if empty)."""
+        diams = self.strong_diameters()
+        return max(diams.values(), default=0)
+
+    def _farthest_from(self, start: int) -> Tuple[int, int]:
+        dist = {start: 0}
+        queue = deque([start])
+        far, far_d = start, 0
+        while queue:
+            vertex = queue.popleft()
+            for _eid, other in self._adj[vertex]:
+                if other not in dist:
+                    dist[other] = dist[vertex] + 1
+                    if dist[other] > far_d:
+                        far, far_d = other, dist[other]
+                    queue.append(other)
+        return far, far_d
+
+    def depth_parity_split(self) -> Tuple[List[int], List[int]]:
+        """Split edges by the parity of the *parent* endpoint's depth.
+
+        Each half is a star-forest: the even half has stars centered at
+        even-depth vertices, the odd half at odd-depth vertices.  This
+        is the classical ``αstar <= 2α`` construction (Corollary 1.2).
+        """
+        even: List[int] = []
+        odd: List[int] = []
+        for vertex, eid in self.parent_edge.items():
+            if eid is None:
+                continue
+            parent = self.parent[vertex]
+            assert parent is not None
+            if self.depth[parent] % 2 == 0:
+                even.append(eid)
+            else:
+                odd.append(eid)
+        return even, odd
+
+
+def forest_components(
+    graph: MultiGraph, eids: Sequence[int]
+) -> List[List[int]]:
+    """Vertex sets of the trees formed by ``eids`` (isolated vertices omitted)."""
+    adj: Dict[int, List[int]] = {}
+    for eid in eids:
+        u, v = graph.endpoints(eid)
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    seen: Set[int] = set()
+    out: List[List[int]] = []
+    for start in adj:
+        if start in seen:
+            continue
+        comp = [start]
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            vertex = queue.popleft()
+            for other in adj[vertex]:
+                if other not in seen:
+                    seen.add(other)
+                    comp.append(other)
+                    queue.append(other)
+        out.append(sorted(comp))
+    return out
+
+
+def is_star_forest(graph: MultiGraph, eids: Sequence[int]) -> bool:
+    """True if the edges form vertex-disjoint stars.
+
+    A star is a tree of diameter at most 2 — equivalently no path of
+    three edges and no cycle; concretely every edge must have at least
+    one endpoint of degree 1 within the edge set, and the set is acyclic.
+    """
+    if not is_forest(graph, eids):
+        return False
+    degree: Dict[int, int] = {}
+    for eid in eids:
+        u, v = graph.endpoints(eid)
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+    for eid in eids:
+        u, v = graph.endpoints(eid)
+        if degree[u] > 1 and degree[v] > 1:
+            return False
+    return True
+
+
+def color_classes(coloring: Dict[int, object]) -> Dict[object, List[int]]:
+    """Group a (partial) edge coloring into color -> edge id lists."""
+    classes: Dict[object, List[int]] = {}
+    for eid, color in coloring.items():
+        if color is not None:
+            classes.setdefault(color, []).append(eid)
+    return classes
+
+
+def max_forest_diameter(graph: MultiGraph, coloring: Dict[int, object]) -> int:
+    """Largest strong tree diameter over all color classes of ``coloring``."""
+    worst = 0
+    for _color, eids in color_classes(coloring).items():
+        forest = RootedForest(graph, eids)
+        worst = max(worst, forest.max_strong_diameter())
+    return worst

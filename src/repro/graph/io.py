@@ -1,0 +1,141 @@
+"""Edge-list serialization for graphs, palettes and colorings.
+
+Formats (all plain text, comment lines start with ``#``):
+
+* graph: first non-comment line ``n <vertices>``; then one ``u v`` pair
+  per line (parallel edges = repeated lines; edge ids are assigned in
+  file order, so colorings round-trip);
+* coloring: ``<edge id> <color>`` per line;
+* palettes: ``<edge id> c1 c2 c3 ...`` per line.
+
+These back the ``python -m repro`` command-line tool and let users run
+the decompositions on their own graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, TextIO, Tuple, Union
+
+from ..errors import GraphError
+from .multigraph import MultiGraph
+
+PathOrIO = Union[str, TextIO]
+
+
+def _open_for(target: PathOrIO, mode: str):
+    if isinstance(target, str):
+        return open(target, mode, encoding="utf-8"), True
+    return target, False
+
+
+def write_edge_list(graph: MultiGraph, target: PathOrIO) -> None:
+    """Serialize a multigraph as an edge list."""
+    handle, owned = _open_for(target, "w")
+    try:
+        handle.write(f"# repro edge list: n={graph.n} m={graph.m}\n")
+        handle.write(f"n {graph.n}\n")
+        for _eid, u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_edge_list(source: PathOrIO) -> MultiGraph:
+    """Parse a multigraph from an edge list (see module docstring)."""
+    handle, owned = _open_for(source, "r")
+    try:
+        graph: MultiGraph = MultiGraph()
+        saw_header = False
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if not saw_header:
+                if parts[0] != "n" or len(parts) != 2:
+                    raise GraphError(
+                        f"line {line_number}: expected 'n <count>' header, "
+                        f"got {line!r}"
+                    )
+                graph = MultiGraph.with_vertices(int(parts[1]))
+                saw_header = True
+                continue
+            if len(parts) != 2:
+                raise GraphError(
+                    f"line {line_number}: expected 'u v', got {line!r}"
+                )
+            graph.add_edge(int(parts[0]), int(parts[1]))
+        if not saw_header:
+            raise GraphError("edge list has no 'n <count>' header")
+        return graph
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_coloring(coloring: Dict[int, object], target: PathOrIO) -> None:
+    """Serialize an edge coloring (colors stringified with str())."""
+    handle, owned = _open_for(target, "w")
+    try:
+        handle.write("# repro coloring: <edge id> <color>\n")
+        for eid in sorted(coloring):
+            handle.write(f"{eid} {coloring[eid]}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_coloring(source: PathOrIO) -> Dict[int, str]:
+    """Parse a coloring; colors come back as strings."""
+    handle, owned = _open_for(source, "r")
+    try:
+        coloring: Dict[int, str] = {}
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(maxsplit=1)
+            if len(parts) != 2:
+                raise GraphError(
+                    f"line {line_number}: expected '<edge id> <color>'"
+                )
+            coloring[int(parts[0])] = parts[1]
+        return coloring
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_palettes(palettes: Dict[int, Sequence[int]], target: PathOrIO) -> None:
+    """Serialize per-edge palettes."""
+    handle, owned = _open_for(target, "w")
+    try:
+        handle.write("# repro palettes: <edge id> c1 c2 ...\n")
+        for eid in sorted(palettes):
+            colors = " ".join(str(c) for c in palettes[eid])
+            handle.write(f"{eid} {colors}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_palettes(source: PathOrIO) -> Dict[int, List[int]]:
+    """Parse per-edge palettes of integer colors."""
+    handle, owned = _open_for(source, "r")
+    try:
+        palettes: Dict[int, List[int]] = {}
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"line {line_number}: expected '<edge id> c1 [c2 ...]'"
+                )
+            palettes[int(parts[0])] = [int(c) for c in parts[1:]]
+        return palettes
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,264 @@
+"""Multigraph data structure with stable edge identifiers.
+
+This is the substrate every algorithm in the library runs on.  Design
+goals, in order:
+
+* **Parallel edges are first-class.**  Nash-Williams arboricity and the
+  paper's multigraph results (Theorems 4.5/4.6, Proposition C.1) need
+  distinct identities for parallel edges, so every edge has an integer
+  id and all colorings are maps ``edge id -> color``.
+* **Stable ids under subgraph operations.**  CUT removes edges, the
+  augmenting search explores neighborhoods, and the final recoloring
+  stitches edge sets back together — all of this is only sane if an
+  edge keeps its id across views.  Subgraphs therefore preserve ids.
+* **Deterministic iteration.**  Vertices and edges iterate in insertion
+  order so seeded runs are reproducible.
+
+Self-loops are rejected: a self-loop can never be in a forest, so no
+forest decomposition exists for a graph containing one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import GraphError
+
+Edge = Tuple[int, int, int]  # (edge id, endpoint u, endpoint v)
+
+
+class MultiGraph:
+    """An undirected multigraph on integer vertices with integer edge ids."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[int, Dict[int, Set[int]]] = {}
+        self._edges: Dict[int, Tuple[int, int]] = {}
+        self._next_vertex = 0
+        self._next_edge = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_vertices(cls, n: int) -> "MultiGraph":
+        """Create a graph with vertices ``0..n-1`` and no edges."""
+        graph = cls()
+        for _ in range(n):
+            graph.add_vertex()
+        return graph
+
+    @classmethod
+    def from_edges(cls, n: int, pairs: Iterable[Tuple[int, int]]) -> "MultiGraph":
+        """Create a graph on ``n`` vertices from (u, v) pairs."""
+        graph = cls.with_vertices(n)
+        for u, v in pairs:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_vertex(self, vertex: Optional[int] = None) -> int:
+        """Add a vertex (auto-numbered if ``vertex`` is None) and return it."""
+        if vertex is None:
+            vertex = self._next_vertex
+        if vertex in self._adj:
+            raise GraphError(f"vertex {vertex} already exists")
+        self._adj[vertex] = {}
+        self._next_vertex = max(self._next_vertex, vertex + 1)
+        return vertex
+
+    def add_edge(self, u: int, v: int) -> int:
+        """Add an undirected edge between ``u`` and ``v``; return its id."""
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u} is not allowed")
+        for vertex in (u, v):
+            if vertex not in self._adj:
+                raise GraphError(f"vertex {vertex} does not exist")
+        eid = self._next_edge
+        self._next_edge += 1
+        self._edges[eid] = (u, v)
+        self._adj[u].setdefault(v, set()).add(eid)
+        self._adj[v].setdefault(u, set()).add(eid)
+        return eid
+
+    def remove_edge(self, eid: int) -> None:
+        """Remove the edge with id ``eid``."""
+        try:
+            u, v = self._edges.pop(eid)
+        except KeyError:
+            raise GraphError(f"edge {eid} does not exist") from None
+        self._adj[u][v].discard(eid)
+        if not self._adj[u][v]:
+            del self._adj[u][v]
+        self._adj[v][u].discard(eid)
+        if not self._adj[v][u]:
+            del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges (counting multiplicities)."""
+        return len(self._edges)
+
+    def vertices(self) -> List[int]:
+        """All vertices, in insertion order."""
+        return list(self._adj.keys())
+
+    def edge_ids(self) -> List[int]:
+        """All edge ids, in insertion order."""
+        return list(self._edges.keys())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(eid, u, v)`` triples."""
+        for eid, (u, v) in self._edges.items():
+            yield (eid, u, v)
+
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._adj
+
+    def has_edge(self, eid: int) -> bool:
+        return eid in self._edges
+
+    def endpoints(self, eid: int) -> Tuple[int, int]:
+        """Return ``(u, v)`` for edge ``eid``."""
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise GraphError(f"edge {eid} does not exist") from None
+
+    def other_endpoint(self, eid: int, vertex: int) -> int:
+        """Return the endpoint of ``eid`` that is not ``vertex``."""
+        u, v = self.endpoints(eid)
+        if vertex == u:
+            return v
+        if vertex == v:
+            return u
+        raise GraphError(f"vertex {vertex} is not an endpoint of edge {eid}")
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex`` counting parallel edges."""
+        return sum(len(eids) for eids in self._adj[vertex].values())
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(self.degree(v) for v in self._adj)
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Distinct neighboring vertices of ``vertex``."""
+        if vertex not in self._adj:
+            raise GraphError(f"vertex {vertex} does not exist")
+        return list(self._adj[vertex].keys())
+
+    def incident_edges(self, vertex: int) -> List[int]:
+        """Ids of all edges incident to ``vertex``."""
+        if vertex not in self._adj:
+            raise GraphError(f"vertex {vertex} does not exist")
+        out: List[int] = []
+        for eids in self._adj[vertex].values():
+            out.extend(eids)
+        return out
+
+    def incident(self, vertex: int) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(eid, other endpoint)`` pairs at ``vertex``."""
+        if vertex not in self._adj:
+            raise GraphError(f"vertex {vertex} does not exist")
+        for other, eids in self._adj[vertex].items():
+            for eid in eids:
+                yield (eid, other)
+
+    def edges_between(self, u: int, v: int) -> List[int]:
+        """All edge ids between ``u`` and ``v`` (empty if none)."""
+        return sorted(self._adj.get(u, {}).get(v, ()))
+
+    def multiplicity(self, u: int, v: int) -> int:
+        """Number of parallel edges between ``u`` and ``v``."""
+        return len(self._adj.get(u, {}).get(v, ()))
+
+    def is_simple(self) -> bool:
+        """True if no pair of vertices has parallel edges."""
+        return all(
+            len(eids) <= 1 for nbrs in self._adj.values() for eids in nbrs.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "MultiGraph":
+        """Deep copy preserving vertex numbers and edge ids."""
+        clone = MultiGraph()
+        for vertex in self._adj:
+            clone.add_vertex(vertex)
+        for eid, (u, v) in self._edges.items():
+            clone._edges[eid] = (u, v)
+            clone._adj[u].setdefault(v, set()).add(eid)
+            clone._adj[v].setdefault(u, set()).add(eid)
+        clone._next_edge = self._next_edge
+        clone._next_vertex = self._next_vertex
+        return clone
+
+    def edge_subgraph(self, eids: Iterable[int]) -> "MultiGraph":
+        """Subgraph on the given edges (and all original vertices).
+
+        Edge ids are preserved, so colorings transfer between the
+        subgraph and the parent without translation.
+        """
+        sub = MultiGraph()
+        for vertex in self._adj:
+            sub.add_vertex(vertex)
+        for eid in eids:
+            u, v = self.endpoints(eid)
+            sub._edges[eid] = (u, v)
+            sub._adj[u].setdefault(v, set()).add(eid)
+            sub._adj[v].setdefault(u, set()).add(eid)
+        sub._next_edge = self._next_edge
+        sub._next_vertex = self._next_vertex
+        return sub
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "MultiGraph":
+        """Subgraph induced by ``vertices`` (ids preserved; only those vertices)."""
+        keep = set(vertices)
+        sub = MultiGraph()
+        for vertex in self._adj:
+            if vertex in keep:
+                sub.add_vertex(vertex)
+        for eid, (u, v) in self._edges.items():
+            if u in keep and v in keep:
+                sub._edges[eid] = (u, v)
+                sub._adj[u].setdefault(v, set()).add(eid)
+                sub._adj[v].setdefault(u, set()).add(eid)
+        sub._next_edge = self._next_edge
+        sub._next_vertex = self._next_vertex
+        return sub
+
+    def without_edges(self, eids: Iterable[int]) -> "MultiGraph":
+        """Copy of the graph with the given edges removed."""
+        drop = set(eids)
+        return self.edge_subgraph(eid for eid in self._edges if eid not in drop)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"MultiGraph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiGraph):
+            return NotImplemented
+        return (
+            set(self._adj.keys()) == set(other._adj.keys())
+            and self._edges == other._edges
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("MultiGraph is mutable and unhashable")

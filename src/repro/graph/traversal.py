@@ -1,0 +1,220 @@
+"""Traversal utilities: BFS, neighborhoods, power graphs, components.
+
+These implement the locality primitives from Section 1.1 of the paper:
+``N^r(v)`` (the r-neighborhood of a vertex), ``N^r(e)`` and ``N^r(X)``
+for edges and sets, and the power graph ``G^r`` (vertices adjacent when
+their distance in G is at most r).  In the LOCAL model, simulating
+``G^r`` costs ``r`` rounds; round accounting for that lives in
+:mod:`repro.local.rounds`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import GraphError
+from .multigraph import MultiGraph
+
+
+def bfs_distances(
+    graph: MultiGraph,
+    sources: Iterable[int],
+    radius: Optional[int] = None,
+) -> Dict[int, int]:
+    """Breadth-first distances from a set of sources.
+
+    Returns a dict mapping each reachable vertex to its distance from
+    the nearest source; vertices beyond ``radius`` (if given) are omitted.
+    """
+    dist: Dict[int, int] = {}
+    queue: deque = deque()
+    for source in sources:
+        if not graph.has_vertex(source):
+            raise GraphError(f"source vertex {source} does not exist")
+        if source not in dist:
+            dist[source] = 0
+            queue.append(source)
+    while queue:
+        vertex = queue.popleft()
+        d = dist[vertex]
+        if radius is not None and d >= radius:
+            continue
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in dist:
+                dist[neighbor] = d + 1
+                queue.append(neighbor)
+    return dist
+
+
+def neighborhood(
+    graph: MultiGraph, sources: Iterable[int], radius: int
+) -> Set[int]:
+    """``N^r(X)``: vertices within distance ``radius`` of any source vertex."""
+    return set(bfs_distances(graph, sources, radius).keys())
+
+
+def edge_neighborhood(graph: MultiGraph, eid: int, radius: int) -> Set[int]:
+    """``N^r(e)``: vertices within distance ``radius`` of either endpoint."""
+    u, v = graph.endpoints(eid)
+    return neighborhood(graph, (u, v), radius)
+
+
+def edges_within(graph: MultiGraph, vertices: Set[int]) -> List[int]:
+    """Edge ids with both endpoints inside ``vertices`` (``E(X)`` in the paper)."""
+    out = []
+    for eid, u, v in graph.edges():
+        if u in vertices and v in vertices:
+            out.append(eid)
+    return out
+
+
+def power_graph(graph: MultiGraph, radius: int) -> MultiGraph:
+    """The power graph ``G^r``: simple graph joining vertices at distance <= r.
+
+    ``G^1`` is the simplification of ``G`` (parallel edges collapsed).
+    """
+    if radius < 1:
+        raise GraphError(f"power graph radius must be >= 1, got {radius}")
+    power = MultiGraph()
+    for vertex in graph.vertices():
+        power.add_vertex(vertex)
+    for vertex in graph.vertices():
+        dist = bfs_distances(graph, (vertex,), radius)
+        for other in dist:
+            if other > vertex:
+                power.add_edge(vertex, other)
+    return power
+
+
+def connected_components(graph: MultiGraph) -> List[List[int]]:
+    """Connected components as lists of vertices (deterministic order)."""
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        component = sorted(bfs_distances(graph, (start,)).keys())
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def components_of_vertices(
+    graph: MultiGraph, vertices: Sequence[int]
+) -> List[List[int]]:
+    """Connected components of the subgraph induced by ``vertices``."""
+    keep = set(vertices)
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in vertices:
+        if start in seen:
+            continue
+        comp: List[int] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            vertex = queue.popleft()
+            comp.append(vertex)
+            for neighbor in graph.neighbors(vertex):
+                if neighbor in keep and neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(sorted(comp))
+    return components
+
+
+def shortest_path(
+    graph: MultiGraph, source: int, target: int
+) -> Optional[List[int]]:
+    """A shortest vertex path from ``source`` to ``target`` or None."""
+    if source == target:
+        return [source]
+    parent: Dict[int, int] = {source: source}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in parent:
+                parent[neighbor] = vertex
+                if neighbor == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(neighbor)
+    return None
+
+
+def eccentricity(graph: MultiGraph, vertex: int) -> int:
+    """Maximum distance from ``vertex`` to any reachable vertex."""
+    dist = bfs_distances(graph, (vertex,))
+    return max(dist.values())
+
+
+def diameter_of_component(graph: MultiGraph, vertices: Sequence[int]) -> int:
+    """Exact strong diameter of the subgraph induced by ``vertices``.
+
+    Runs a BFS from every vertex of the component, so it is quadratic —
+    fine for the cluster sizes the validators and benches inspect.
+    Disconnected input raises :class:`GraphError`.
+    """
+    keep = set(vertices)
+    best = 0
+    for start in vertices:
+        dist: Dict[int, int] = {start: 0}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for neighbor in graph.neighbors(v):
+                if neighbor in keep and neighbor not in dist:
+                    dist[neighbor] = dist[v] + 1
+                    queue.append(neighbor)
+        if len(dist) != len(keep):
+            raise GraphError("diameter_of_component: vertex set is disconnected")
+        best = max(best, max(dist.values()))
+    return best
+
+
+def weak_diameter(graph: MultiGraph, vertices: Sequence[int]) -> int:
+    """Weak diameter: max distance *in the whole graph* between members."""
+    best = 0
+    members = set(vertices)
+    for start in vertices:
+        dist = bfs_distances(graph, (start,))
+        for other in members:
+            if other not in dist:
+                raise GraphError("weak_diameter: vertices not mutually reachable")
+            best = max(best, dist[other])
+    return best
+
+
+def distance_between_sets(
+    graph: MultiGraph, a: Iterable[int], b: Iterable[int]
+) -> Optional[int]:
+    """Shortest distance between any vertex of ``a`` and any of ``b``."""
+    target = set(b)
+    dist = bfs_distances(graph, a)
+    hits = [d for v, d in dist.items() if v in target]
+    return min(hits) if hits else None
+
+
+def spanning_tree_edges(graph: MultiGraph, vertices: Sequence[int]) -> List[int]:
+    """Edges of an arbitrary BFS spanning forest of the induced subgraph."""
+    keep = set(vertices)
+    seen: Set[int] = set()
+    tree_edges: List[int] = []
+    for start in vertices:
+        if start in seen:
+            continue
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            vertex = queue.popleft()
+            for eid, other in graph.incident(vertex):
+                if other in keep and other not in seen:
+                    seen.add(other)
+                    tree_edges.append(eid)
+                    queue.append(other)
+    return tree_edges

@@ -1,0 +1,23 @@
+"""LOCAL model: synchronous simulator, node programs, round accounting."""
+
+from .network import LocalNetwork, NodeAlgorithm, NodeView, broadcast_gather
+from .rounds import RoundCounter, ensure_counter
+from .algorithms import (
+    cole_vishkin_iterations,
+    run_distributed_hpartition,
+    run_distributed_list_forest_coloring,
+    run_distributed_tree_coloring,
+)
+
+__all__ = [
+    "LocalNetwork",
+    "NodeAlgorithm",
+    "NodeView",
+    "broadcast_gather",
+    "RoundCounter",
+    "ensure_counter",
+    "run_distributed_hpartition",
+    "run_distributed_tree_coloring",
+    "run_distributed_list_forest_coloring",
+    "cole_vishkin_iterations",
+]

@@ -1,0 +1,40 @@
+"""Exact (centralized) Nash-Williams substrate: ground truth algorithms."""
+
+from .arboricity import (
+    densest_induced_density,
+    exact_arboricity,
+    exact_forest_decomposition,
+    nash_williams_density_exact,
+    whole_graph_density_lower_bound,
+)
+from .matroid_partition import MatroidPartitionResult, exact_forest_partition
+from .pseudoarboricity import (
+    exact_pseudoarboricity,
+    exact_pseudoarboricity_with_orientation,
+    orientation_exists,
+    out_degrees,
+    pseudoforest_decomposition_from_orientation,
+)
+from .star_arboricity import (
+    exact_star_arboricity,
+    star_arboricity_bounds,
+    star_forest_partition_exists,
+)
+
+__all__ = [
+    "exact_arboricity",
+    "exact_forest_decomposition",
+    "exact_forest_partition",
+    "MatroidPartitionResult",
+    "nash_williams_density_exact",
+    "densest_induced_density",
+    "whole_graph_density_lower_bound",
+    "exact_pseudoarboricity",
+    "exact_pseudoarboricity_with_orientation",
+    "orientation_exists",
+    "out_degrees",
+    "pseudoforest_decomposition_from_orientation",
+    "exact_star_arboricity",
+    "star_arboricity_bounds",
+    "star_forest_partition_exists",
+]

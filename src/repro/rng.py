@@ -1,0 +1,68 @@
+"""Randomness helpers.
+
+All randomized algorithms in this library take an explicit seed or
+:class:`random.Random` instance so runs are reproducible.  The helpers
+here normalize the two calling conventions and derive independent child
+streams for sub-procedures (so that changing one sub-procedure's
+consumption pattern does not perturb another's).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+SeedLike = Union[None, int, random.Random]
+
+
+def make_rng(seed: SeedLike = None) -> random.Random:
+    """Return a :class:`random.Random` from a seed, instance, or ``None``.
+
+    Passing an existing ``Random`` returns it unchanged (shared stream);
+    an int seeds a fresh generator; ``None`` gives a fresh nondeterministic
+    generator.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def child_rng(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent child generator from ``rng`` tagged by ``label``.
+
+    The child is seeded from the parent stream plus a stable hash of the
+    label, so distinct labels produce distinct streams deterministically.
+    """
+    base = rng.getrandbits(64)
+    mix = hash(label) & 0xFFFFFFFFFFFFFFFF
+    return random.Random(base ^ mix)
+
+
+def coin(rng: random.Random, probability: float) -> bool:
+    """Return True with the given probability."""
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    return rng.random() < probability
+
+
+def sample_subset(rng: random.Random, items: list, size: int) -> list:
+    """Uniformly sample a ``size``-subset of ``items`` (without replacement)."""
+    if size >= len(items):
+        return list(items)
+    return rng.sample(items, size)
+
+
+def random_partition_index(rng: random.Random, modulus: int) -> int:
+    """Uniform integer in ``[0, modulus)``; modulus must be positive."""
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    return rng.randrange(modulus)
+
+
+def maybe_seeded(seed: SeedLike, default_seed: Optional[int] = None) -> random.Random:
+    """Like :func:`make_rng` but with a configurable default seed."""
+    if seed is None and default_seed is not None:
+        return random.Random(default_seed)
+    return make_rng(seed)

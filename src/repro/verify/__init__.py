@@ -1,0 +1,35 @@
+"""Independent validity checkers for decompositions and orientations."""
+
+from .validators import (
+    check_forest_decomposition,
+    check_forest_diameter,
+    check_hpartition,
+    check_orientation,
+    check_palettes_respected,
+    check_pseudoforest_decomposition,
+    check_star_forest_decomposition,
+    check_vertex_coloring_proper,
+    count_colors,
+    forest_diameter_of_coloring,
+    is_pseudoforest,
+    monochromatic_components_within,
+    pseudoarboricity_upper_bound_check,
+    summarize_decomposition,
+)
+
+__all__ = [
+    "check_forest_decomposition",
+    "check_star_forest_decomposition",
+    "check_pseudoforest_decomposition",
+    "is_pseudoforest",
+    "check_palettes_respected",
+    "check_forest_diameter",
+    "forest_diameter_of_coloring",
+    "check_orientation",
+    "check_hpartition",
+    "check_vertex_coloring_proper",
+    "pseudoarboricity_upper_bound_check",
+    "count_colors",
+    "monochromatic_components_within",
+    "summarize_decomposition",
+]

@@ -1,0 +1,261 @@
+"""Tests for Section 3: augmenting sequences.
+
+Covers Algorithm 1 (almost augmenting sequences), Proposition 3.4
+(short-circuiting), Lemma 3.1 (augmentation preserves forests), and
+Theorem 3.2's radius bound, plus hypothesis property tests driving
+random augmentation schedules.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AugmentationError
+from repro.graph import MultiGraph, neighborhood
+from repro.graph.generators import (
+    cycle_graph,
+    line_multigraph,
+    path_graph,
+    uniform_palette,
+    union_of_random_forests,
+)
+from repro.core import (
+    AugmentationStats,
+    PartialListForestDecomposition,
+    apply_augmentation,
+    augment_edge,
+    find_almost_augmenting_sequence,
+    is_augmenting_sequence,
+    shortcut_sequence,
+)
+
+
+def state_for(graph, num_colors):
+    return PartialListForestDecomposition(
+        graph, uniform_palette(graph, range(num_colors))
+    )
+
+
+def test_trivial_augmentation_empty_coloring():
+    g = path_graph(3)
+    state = state_for(g, 1)
+    seq = augment_edge(state, 0)
+    assert seq == [(0, 0)]
+    assert state.color_of(0) == 0
+
+
+def test_sequence_on_saturated_color():
+    # Triangle with 2 colors: color edges 0,1 with color 0. Edge 2 must
+    # either take color 1 directly or displace.
+    g = cycle_graph(3)
+    state = state_for(g, 2)
+    state.set_color(0, 0)
+    state.set_color(1, 0)
+    seq = augment_edge(state, 2)
+    state.assert_valid()
+    assert state.color_of(2) is not None
+    assert all(state.color_of(e) is not None for e in (0, 1, 2))
+
+
+def test_multigraph_augmentation():
+    # Two parallel edges, two colors: second edge must avoid the first's color.
+    g = MultiGraph.from_edges(2, [(0, 1), (0, 1)])
+    state = state_for(g, 2)
+    augment_edge(state, 0)
+    augment_edge(state, 1)
+    state.assert_valid()
+    assert state.color_of(0) != state.color_of(1)
+
+
+def test_displacement_chain():
+    """Force a length-2 augmenting sequence.
+
+    Line multigraph of multiplicity 2 with 2 colors: fill greedily in an
+    order that forces displacement for the last edge.
+    """
+    g = line_multigraph(4, 2)  # alpha = 2, edges: (0,1)x2, (1,2)x2, (2,3)x2
+    state = state_for(g, 2)
+    order = g.edge_ids()
+    rng = random.Random(5)
+    rng.shuffle(order)
+    for eid in order:
+        if state.color_of(eid) is None:
+            augment_edge(state, eid)
+            state.assert_valid()
+    # Complete 2-coloring of a graph with alpha = 2 achieved.
+    assert not state.uncolored_edges()
+
+
+def test_almost_sequence_is_checkable():
+    g = line_multigraph(5, 2)
+    state = state_for(g, 2)
+    for eid in g.edge_ids()[:-1]:
+        if state.color_of(eid) is None:
+            augment_edge(state, eid)
+    last = g.edge_ids()[-1]
+    if state.color_of(last) is None:
+        almost = find_almost_augmenting_sequence(state, last)
+        assert almost is not None
+        assert is_augmenting_sequence(state, almost, require_a3=False)
+        full = shortcut_sequence(state, almost)
+        assert is_augmenting_sequence(state, full, require_a3=True)
+
+
+def test_augment_colored_edge_rejected():
+    g = path_graph(3)
+    state = state_for(g, 1)
+    augment_edge(state, 0)
+    with pytest.raises(AugmentationError):
+        augment_edge(state, 0)
+
+
+def test_augment_leftover_rejected():
+    g = path_graph(3)
+    state = state_for(g, 1)
+    state.remove_to_leftover(0, tail=0)
+    with pytest.raises(AugmentationError):
+        augment_edge(state, 0)
+
+
+def test_insufficient_palette_returns_none():
+    # A triangle needs 2 forests; with 1 color the third edge has no
+    # augmenting sequence.
+    g = cycle_graph(3)
+    state = state_for(g, 1)
+    augment_edge(state, 0)
+    augment_edge(state, 1)
+    assert find_almost_augmenting_sequence(state, 2) is None
+    with pytest.raises(AugmentationError):
+        augment_edge(state, 2)
+
+
+def test_restricted_search_radius():
+    g = path_graph(10)
+    state = state_for(g, 1)
+    ball = neighborhood(g, (0, 1), 2)
+    seq = augment_edge(state, 0, allowed_vertices=ball)
+    assert seq == [(0, 0)]
+
+
+def test_full_decomposition_random_order():
+    """Coloring every edge of an alpha=3 multigraph with exactly
+    (1+eps) * 3 = 4 colors via augmentation only."""
+    g = union_of_random_forests(25, 3, seed=8)
+    state = state_for(g, 4)
+    order = g.edge_ids()
+    random.Random(0).shuffle(order)
+    for eid in order:
+        augment_edge(state, eid)
+    state.assert_valid()
+    assert not state.uncolored_edges()
+
+
+def test_exact_alpha_coloring_small():
+    """Even with exactly alpha colors, augmentation completes (slower,
+    longer sequences) — matroid-partition equivalence on a small case."""
+    g = line_multigraph(5, 3)  # alpha = 3
+    state = state_for(g, 3)
+    for eid in g.edge_ids():
+        augment_edge(state, eid)
+    assert not state.uncolored_edges()
+    state.assert_valid()
+
+
+def test_sequence_properties_detailed():
+    g = union_of_random_forests(20, 2, seed=3)
+    state = state_for(g, 3)
+    order = g.edge_ids()
+    random.Random(1).shuffle(order)
+    for eid in order:
+        stats = AugmentationStats()
+        almost = find_almost_augmenting_sequence(state, eid, stats=stats)
+        assert almost is not None
+        # (A1): starts at the uncolored edge.
+        assert almost[0][0] == eid
+        full = shortcut_sequence(state, almost)
+        assert is_augmenting_sequence(state, full)
+        # Subsequence property (Proposition 3.4).
+        positions = [almost.index(pair) for pair in full]
+        assert positions == sorted(positions)
+        apply_augmentation(state, full)
+        state.assert_valid()
+
+
+def test_theorem32_radius_bound():
+    """Sequence edges lie within O(log n / eps) of the start edge."""
+    g = union_of_random_forests(40, 3, seed=6)
+    epsilon = 1.0 / 3.0  # 4 colors = (1+eps) * 3
+    state = state_for(g, 4)
+    n = g.n
+    # Generous constant for the O(log n / eps) radius.
+    radius = math.ceil(6 * math.log2(n) / epsilon)
+    order = g.edge_ids()
+    random.Random(2).shuffle(order)
+    for eid in order:
+        ball = neighborhood(g, g.endpoints(eid), radius)
+        # The restricted search must succeed: Theorem 3.2.
+        seq = augment_edge(state, eid, allowed_vertices=ball)
+        for member, _color in seq:
+            u, v = g.endpoints(member)
+            assert u in ball and v in ball
+
+
+def test_growth_stats_collected():
+    g = union_of_random_forests(30, 3, seed=9)
+    state = state_for(g, 4)
+    order = g.edge_ids()
+    random.Random(3).shuffle(order)
+    recorded = []
+    for eid in order:
+        stats = AugmentationStats()
+        augment_edge(state, eid, stats=stats)
+        recorded.append(stats)
+    assert all(s.iterations >= 1 for s in recorded)
+    assert all(s.sequence_length >= 1 for s in recorded)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_augmentation_preserves_forests(seed):
+    """Lemma 3.1 as a property test: random graphs, random palettes,
+    random insertion order — every intermediate state is a valid
+    partial LFD and ends fully colored."""
+    rng = random.Random(seed)
+    n = rng.randint(4, 14)
+    k = rng.randint(1, 3)
+    g = union_of_random_forests(n, k, seed=seed)
+    extra = rng.randint(0, 2)
+    state = state_for(g, k + extra + 1)
+    order = g.edge_ids()
+    rng.shuffle(order)
+    for eid in order:
+        augment_edge(state, eid)
+        state.assert_valid()
+    assert not state.uncolored_edges()
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_list_palettes(seed):
+    """Random palettes of size >= (1+eps) alpha admit full list coloring
+    via augmentation (Theorem 3.2 for lists)."""
+    rng = random.Random(seed)
+    n = rng.randint(5, 12)
+    k = rng.randint(1, 3)
+    g = union_of_random_forests(n, k, seed=seed)
+    size = k + 1
+    space = 2 * size + 2
+    palettes = {
+        eid: sorted(rng.sample(range(space), size)) for eid in g.edge_ids()
+    }
+    state = PartialListForestDecomposition(g, palettes)
+    order = g.edge_ids()
+    rng.shuffle(order)
+    for eid in order:
+        augment_edge(state, eid)
+    state.assert_valid()
+    for eid in g.edge_ids():
+        assert state.color_of(eid) in palettes[eid]

@@ -1,0 +1,127 @@
+"""Tests for vertex-color-splitting (Theorem 4.9 / Proposition 4.8)."""
+
+import pytest
+
+from repro.errors import ConvergenceError, DecompositionError
+from repro.graph.generators import (
+    grid_graph,
+    random_palettes,
+    uniform_palette,
+    union_of_random_forests,
+)
+from repro.core import (
+    cluster_correlated_splitting,
+    combine_colorings,
+    independent_splitting,
+)
+
+
+def check_splitting_consistency(graph, palettes, split):
+    """Q0 and Q1 partition-compatible: a color never serves an edge on
+    both sides, and each induced palette only contains palette colors."""
+    for eid, u, v in graph.edges():
+        q0 = set(split.palettes_0[eid])
+        q1 = set(split.palettes_1[eid])
+        assert q0 <= set(palettes[eid])
+        assert q1 <= set(palettes[eid])
+        assert not (q0 & q1)
+        for color in q0:
+            assert split.side(u, color) == 0 and split.side(v, color) == 0
+        for color in q1:
+            assert split.side(u, color) == 1 and split.side(v, color) == 1
+
+
+def test_cluster_splitting_basic():
+    g = union_of_random_forests(40, 3, seed=1)
+    palettes = uniform_palette(g, range(8))
+    split = cluster_correlated_splitting(g, palettes, epsilon=0.5, seed=2)
+    check_splitting_consistency(g, palettes, split)
+    # Side 0 keeps the lion's share.
+    assert split.k0 >= 4
+
+
+def test_cluster_splitting_reserve_nonempty_on_average():
+    g = grid_graph(6, 6)
+    palettes = uniform_palette(g, range(30))
+    total_reserve = 0
+    for seed in range(5):
+        split = cluster_correlated_splitting(g, palettes, epsilon=1.0, seed=seed)
+        total_reserve += sum(len(p) for p in split.palettes_1.values())
+    assert total_reserve > 0  # epsilon/10 of 30 colors over 5 seeds
+
+
+def test_independent_splitting_enforces_floors():
+    g = union_of_random_forests(30, 2, seed=3)
+    palettes = uniform_palette(g, range(40))
+    split = independent_splitting(
+        g, palettes, epsilon=1.0, min_k0=15, min_k1=1,
+        reserve_probability=0.3, seed=4,
+    )
+    check_splitting_consistency(g, palettes, split)
+    assert split.k0 >= 15
+    assert split.k1 >= 1
+
+
+def test_independent_splitting_infeasible_floors():
+    g = union_of_random_forests(20, 2, seed=5)
+    palettes = uniform_palette(g, range(4))
+    with pytest.raises(ConvergenceError):
+        independent_splitting(
+            g, palettes, epsilon=0.5, min_k0=4, min_k1=1, seed=6, max_rounds=20
+        )
+
+
+def test_independent_splitting_with_list_palettes():
+    g = union_of_random_forests(25, 2, seed=7)
+    palettes = random_palettes(g, 30, 60, seed=8)
+    split = independent_splitting(
+        g, palettes, epsilon=1.0, min_k0=10, min_k1=1,
+        reserve_probability=0.3, seed=9,
+    )
+    check_splitting_consistency(g, palettes, split)
+
+
+def test_combine_colorings():
+    merged = combine_colorings({0: 1, 1: 2}, {2: 3})
+    assert merged == {0: 1, 1: 2, 2: 3}
+
+
+def test_combine_colorings_overlap_rejected():
+    with pytest.raises(DecompositionError):
+        combine_colorings({0: 1}, {0: 2})
+
+
+def test_proposition_48_overlay_is_forest():
+    """End-to-end Proposition 4.8: color E0 from Q0 and E1 from Q1 with
+    a hand-built vertex-color-splitting (colors 0-4 on side 1, 5-14 on
+    side 0 at every vertex) and check the overlay is a valid LFD."""
+    import random
+
+    from repro.core import PartialListForestDecomposition
+    from repro.core.augmenting import augment_edge
+    from repro.verify import check_forest_decomposition, check_palettes_respected
+
+    g = union_of_random_forests(30, 2, seed=10)
+    palettes = uniform_palette(g, range(15))
+    q0 = {eid: list(range(5, 15)) for eid in g.edge_ids()}
+    q1 = {eid: list(range(5)) for eid in g.edge_ids()}
+
+    edges = g.edge_ids()
+    rng = random.Random(12)
+    rng.shuffle(edges)
+    half = len(edges) // 2
+    e0, e1 = edges[:half], edges[half:]
+
+    sub0 = g.edge_subgraph(e0)
+    state0 = PartialListForestDecomposition(sub0, {eid: q0[eid] for eid in e0})
+    for eid in e0:
+        augment_edge(state0, eid)
+
+    sub1 = g.edge_subgraph(e1)
+    state1 = PartialListForestDecomposition(sub1, {eid: q1[eid] for eid in e1})
+    for eid in e1:
+        augment_edge(state1, eid)
+
+    combined = combine_colorings(state0.colored_edges(), state1.colored_edges())
+    check_forest_decomposition(g, combined)
+    check_palettes_respected(combined, palettes)

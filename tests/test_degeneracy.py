@@ -1,0 +1,126 @@
+"""Tests for degeneracy orderings and the Theorem 2.2 2d-LSFD."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PaletteError
+from repro.graph import MultiGraph
+from repro.graph.generators import (
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_palettes,
+    star_graph,
+    uniform_palette,
+    union_of_random_forests,
+    wheel_graph,
+)
+from repro.decomposition.degeneracy import (
+    degeneracy_ordering,
+    degeneracy_orientation,
+    theorem22_lsfd,
+)
+from repro.nashwilliams import exact_arboricity
+from repro.verify import (
+    check_orientation,
+    check_palettes_respected,
+    check_star_forest_decomposition,
+)
+
+
+def test_degeneracy_known_values():
+    assert degeneracy_ordering(path_graph(5))[0] == 1
+    assert degeneracy_ordering(star_graph(8))[0] == 1
+    assert degeneracy_ordering(cycle_graph(6))[0] == 2
+    assert degeneracy_ordering(complete_graph(5))[0] == 4
+    assert degeneracy_ordering(wheel_graph(8))[0] == 3
+    assert degeneracy_ordering(caterpillar(5, 3))[0] == 1
+
+
+def test_degeneracy_empty():
+    g = MultiGraph.with_vertices(3)
+    d, order = degeneracy_ordering(g)
+    assert d == 0
+    assert sorted(order) == [0, 1, 2]
+
+
+def test_degeneracy_multigraph():
+    g = MultiGraph.from_edges(2, [(0, 1), (0, 1), (0, 1)])
+    assert degeneracy_ordering(g)[0] == 3
+
+
+def test_degeneracy_orientation_witness():
+    g = wheel_graph(10)
+    d, orientation = degeneracy_orientation(g)
+    check_orientation(g, orientation, d, require_acyclic=True)
+
+
+def test_degeneracy_at_most_2alpha_minus_1():
+    for seed in range(5):
+        g = union_of_random_forests(20, 3, seed=seed)
+        alpha = exact_arboricity(g)
+        d, _ = degeneracy_ordering(g)
+        assert d <= 2 * alpha - 1
+
+
+def test_theorem22_lsfd_uniform():
+    g = wheel_graph(12)
+    d, _ = degeneracy_orientation(g)
+    palettes = uniform_palette(g, range(2 * d))
+    coloring = theorem22_lsfd(g, palettes)
+    check_star_forest_decomposition(g, coloring, max_colors=2 * d)
+    check_palettes_respected(coloring, palettes)
+
+
+def test_theorem22_lsfd_random_lists():
+    g = union_of_random_forests(25, 3, seed=2)
+    d, _ = degeneracy_orientation(g)
+    palettes = random_palettes(g, 2 * d, 5 * d, seed=3)
+    coloring = theorem22_lsfd(g, palettes)
+    check_star_forest_decomposition(g, coloring)
+    check_palettes_respected(coloring, palettes)
+
+
+def test_theorem22_insufficient_palette():
+    g = complete_graph(6)
+    palettes = uniform_palette(g, range(2))
+    with pytest.raises(PaletteError):
+        theorem22_lsfd(g, palettes)
+
+
+def test_theorem22_corollary12_bound():
+    """alphaliststar <= 4 alpha - 2 (Corollary 1.2 via Theorem 2.2)."""
+    for seed in range(4):
+        g = union_of_random_forests(18, 2, seed=seed + 10)
+        alpha = exact_arboricity(g)
+        size = 4 * alpha - 2
+        palettes = random_palettes(g, size, 3 * size, seed=seed)
+        coloring = theorem22_lsfd(g, palettes)
+        check_star_forest_decomposition(g, coloring)
+        check_palettes_respected(coloring, palettes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_property_theorem22(seed):
+    """2d palettes always suffice on random multigraphs."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 10)
+    g = MultiGraph.with_vertices(n)
+    for _ in range(rng.randint(0, 16)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    d, orientation = degeneracy_orientation(g)
+    if g.m == 0:
+        return
+    palettes = {
+        eid: sorted(rng.sample(range(4 * d), 2 * d)) for eid in g.edge_ids()
+    }
+    coloring = theorem22_lsfd(g, palettes, orientation)
+    check_star_forest_decomposition(g, coloring)
+    check_palettes_respected(coloring, palettes)

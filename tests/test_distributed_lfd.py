@@ -1,0 +1,73 @@
+"""Tests for the distributed Theorem 2.1(2)+(4) node program."""
+
+import pytest
+
+from repro.errors import LocalModelError
+from repro.graph.generators import (
+    random_palettes,
+    uniform_palette,
+    union_of_random_forests,
+)
+from repro.local import (
+    run_distributed_hpartition,
+    run_distributed_list_forest_coloring,
+)
+from repro.decomposition import (
+    default_threshold,
+    h_partition,
+    list_forest_decomposition_via_hpartition,
+)
+from repro.nashwilliams import exact_pseudoarboricity
+from repro.verify import check_forest_decomposition, check_palettes_respected
+
+
+def setup_workload(seed=0, n=40, alpha=3):
+    g = union_of_random_forests(n, alpha, seed=seed)
+    t = default_threshold(exact_pseudoarboricity(g), 0.5)
+    classes, _ = run_distributed_hpartition(g, t)
+    return g, t, classes
+
+
+def test_distributed_lfd_valid():
+    g, t, classes = setup_workload()
+    palettes = uniform_palette(g, range(t))
+    coloring, rounds = run_distributed_list_forest_coloring(g, classes, palettes)
+    assert rounds == 1
+    check_forest_decomposition(g, coloring)
+    check_palettes_respected(coloring, palettes)
+    assert len(set(coloring.values())) <= t
+
+
+def test_distributed_lfd_with_lists():
+    g, t, classes = setup_workload(seed=2)
+    palettes = random_palettes(g, t, 3 * t, seed=3)
+    coloring, _ = run_distributed_list_forest_coloring(g, classes, palettes)
+    check_forest_decomposition(g, coloring)
+    check_palettes_respected(coloring, palettes)
+
+
+def test_distributed_matches_central_guarantees():
+    """The node program and the centralized Theorem 2.1(4) agree on
+    validity and color budget (not necessarily on the exact coloring)."""
+    g, t, classes = setup_workload(seed=4)
+    palettes = uniform_palette(g, range(t))
+    distributed, _ = run_distributed_list_forest_coloring(g, classes, palettes)
+    partition = h_partition(g, t)
+    central = list_forest_decomposition_via_hpartition(g, partition, palettes)
+    for coloring in (distributed, central):
+        check_forest_decomposition(g, coloring)
+        assert len(set(coloring.values())) <= t
+
+
+def test_distributed_lfd_palette_too_small():
+    g, t, classes = setup_workload(seed=5)
+    palettes = uniform_palette(g, [0])
+    with pytest.raises(LocalModelError):
+        run_distributed_list_forest_coloring(g, classes, palettes)
+
+
+def test_every_edge_colored_exactly_once():
+    g, t, classes = setup_workload(seed=6)
+    palettes = uniform_palette(g, range(t))
+    coloring, _ = run_distributed_list_forest_coloring(g, classes, palettes)
+    assert set(coloring.keys()) == set(g.edge_ids())

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script must run cleanly.
+
+These keep the examples honest as the library evolves — an example that
+crashes is worse than no example.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "social_network_orientation.py",
+    "wireless_scheduling.py",
+    "local_simulation.py",
+    "frequency_assignment.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_validity():
+    path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=600
+    )
+    assert "forests used:" in result.stdout
+    assert "charged LOCAL rounds:" in result.stdout
+
+
+def test_wireless_shows_crossover():
+    path = os.path.join(EXAMPLES_DIR, "wireless_scheduling.py")
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=600
+    )
+    assert "paper" in result.stdout
+    assert "classical" in result.stdout

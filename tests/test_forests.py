@@ -1,0 +1,147 @@
+"""Tests for rooted forest utilities."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import MultiGraph, RootedForest, is_forest, is_star_forest
+from repro.graph.forests import (
+    color_classes,
+    forest_components,
+    max_forest_diameter,
+)
+from repro.graph.generators import path_graph, star_graph
+
+
+def build_two_trees():
+    #   0-1-2   and   3-4, 3-5
+    g = MultiGraph.with_vertices(6)
+    eids = [g.add_edge(0, 1), g.add_edge(1, 2), g.add_edge(3, 4), g.add_edge(3, 5)]
+    return g, eids
+
+
+def test_is_forest():
+    g, eids = build_two_trees()
+    assert is_forest(g, eids)
+    cyc = g.add_edge(2, 0)
+    assert not is_forest(g, eids + [cyc])
+
+
+def test_parallel_edges_are_cycle():
+    g = MultiGraph.with_vertices(2)
+    e0 = g.add_edge(0, 1)
+    e1 = g.add_edge(0, 1)
+    assert not is_forest(g, [e0, e1])
+
+
+def test_rooted_forest_rejects_cycles():
+    g = MultiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    with pytest.raises(GraphError):
+        RootedForest(g, [0, 1, 2])
+
+
+def test_rooting_and_depths():
+    g, eids = build_two_trees()
+    forest = RootedForest(g, eids)
+    assert sorted(forest.roots) == [0, 3]
+    assert forest.depth[0] == 0
+    assert forest.depth[2] == 2
+    assert forest.depth[4] == 1
+    assert forest.parent[1] == 0
+    assert forest.root_of[5] == 3
+
+
+def test_preferred_roots():
+    g, eids = build_two_trees()
+    forest = RootedForest(g, eids, roots=[2, 5])
+    assert sorted(forest.roots) == [2, 5]
+    assert forest.depth[0] == 2
+
+
+def test_path_to_root():
+    g, eids = build_two_trees()
+    forest = RootedForest(g, eids)
+    assert forest.path_to_root(2) == [2, 1, 0]
+
+
+def test_children():
+    g, eids = build_two_trees()
+    forest = RootedForest(g, eids)
+    assert sorted(forest.children(3)) == [4, 5]
+    assert forest.children(2) == []
+
+
+def test_edges_at_depth_residue():
+    g = path_graph(7)  # rooted at 0, vertex i has depth i
+    forest = RootedForest(g, g.edge_ids(), roots=[0])
+    cut = forest.edges_at_depth_residue(0, 3)
+    # Depths 3 and 6 match residue 0 mod 3.
+    cut_depths = sorted(
+        max(forest.depth[u], forest.depth[v])
+        for u, v in (g.endpoints(e) for e in cut)
+    )
+    assert cut_depths == [3, 6]
+    remaining = [e for e in g.edge_ids() if e not in set(cut)]
+    # After cutting, every chain has at most `modulus` vertices depth-wise.
+    sub = RootedForest(g, remaining)
+    assert sub.max_strong_diameter() <= 3
+
+
+def test_strong_diameters():
+    g, eids = build_two_trees()
+    forest = RootedForest(g, eids)
+    diams = forest.strong_diameters()
+    assert diams[0] == 2  # path 0-1-2
+    assert diams[3] == 2  # star at 3
+    assert forest.max_strong_diameter() == 2
+
+
+def test_depth_parity_split_is_star_forests():
+    g = path_graph(9)
+    forest = RootedForest(g, g.edge_ids(), roots=[0])
+    even, odd = forest.depth_parity_split()
+    assert len(even) + len(odd) == g.m
+    assert is_star_forest(g, even)
+    assert is_star_forest(g, odd)
+
+
+def test_is_star_forest():
+    g = star_graph(5)
+    assert is_star_forest(g, g.edge_ids())
+    p = path_graph(4)  # path of 3 edges is not a star forest
+    assert not is_star_forest(p, p.edge_ids())
+    p3 = path_graph(3)  # 2-edge path is a star centered in middle
+    assert is_star_forest(p3, p3.edge_ids())
+
+
+def test_star_forest_rejects_cycle():
+    g = MultiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    assert not is_star_forest(g, g.edge_ids())
+
+
+def test_forest_components():
+    g, eids = build_two_trees()
+    comps = forest_components(g, eids)
+    assert sorted(map(tuple, comps)) == [(0, 1, 2), (3, 4, 5)]
+
+
+def test_color_classes_skips_uncolored():
+    classes = color_classes({0: "a", 1: None, 2: "a", 3: "b"})
+    assert sorted(classes["a"]) == [0, 2]
+    assert classes["b"] == [3]
+    assert None not in classes
+
+
+def test_max_forest_diameter():
+    g = path_graph(6)
+    coloring = {e: 0 for e in g.edge_ids()}
+    assert max_forest_diameter(g, coloring) == 5
+    alternating = {e: e % 2 for e in g.edge_ids()}
+    assert max_forest_diameter(g, alternating) == 1
+
+
+def test_empty_forest():
+    g = MultiGraph.with_vertices(3)
+    forest = RootedForest(g, [])
+    assert forest.roots == []
+    assert forest.max_depth() == 0
+    assert forest.max_strong_diameter() == 0

@@ -1,0 +1,157 @@
+"""Tests for edge-list IO and the command-line interface."""
+
+import io
+import os
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import MultiGraph
+from repro.graph.generators import line_multigraph, union_of_random_forests
+from repro.graph.io import (
+    read_coloring,
+    read_edge_list,
+    read_palettes,
+    write_coloring,
+    write_edge_list,
+    write_palettes,
+)
+from repro.__main__ import main as cli_main
+
+
+def test_edge_list_roundtrip():
+    g = union_of_random_forests(15, 2, seed=1)
+    buffer = io.StringIO()
+    write_edge_list(g, buffer)
+    buffer.seek(0)
+    back = read_edge_list(buffer)
+    assert back == g  # ids assigned in file order == original ids
+
+
+def test_edge_list_roundtrip_multigraph():
+    g = line_multigraph(4, 3)
+    buffer = io.StringIO()
+    write_edge_list(g, buffer)
+    buffer.seek(0)
+    back = read_edge_list(buffer)
+    assert back.m == g.m
+    assert back.multiplicity(0, 1) == 3
+
+
+def test_edge_list_file_roundtrip(tmp_path):
+    g = union_of_random_forests(10, 2, seed=2)
+    path = str(tmp_path / "g.txt")
+    write_edge_list(g, path)
+    assert read_edge_list(path) == g
+
+
+def test_edge_list_missing_header():
+    with pytest.raises(GraphError):
+        read_edge_list(io.StringIO("0 1\n"))
+
+
+def test_edge_list_bad_line():
+    with pytest.raises(GraphError):
+        read_edge_list(io.StringIO("n 3\n0 1 2\n"))
+
+
+def test_edge_list_comments_and_blanks():
+    g = read_edge_list(io.StringIO("# hi\n\nn 3\n# edge next\n0 1\n"))
+    assert g.n == 3
+    assert g.m == 1
+
+
+def test_coloring_roundtrip(tmp_path):
+    path = str(tmp_path / "c.txt")
+    write_coloring({0: 2, 1: 0, 5: 1}, path)
+    back = read_coloring(path)
+    assert back == {0: "2", 1: "0", 5: "1"}
+
+
+def test_coloring_bad_line():
+    with pytest.raises(GraphError):
+        read_coloring(io.StringIO("justoneword\n"))
+
+
+def test_palettes_roundtrip(tmp_path):
+    path = str(tmp_path / "p.txt")
+    write_palettes({0: [1, 2, 3], 7: [0]}, path)
+    back = read_palettes(path)
+    assert back == {0: [1, 2, 3], 7: [0]}
+
+
+def test_palettes_bad_line():
+    with pytest.raises(GraphError):
+        read_palettes(io.StringIO("5\n"))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    g = union_of_random_forests(20, 2, seed=3)
+    path = str(tmp_path / "graph.txt")
+    write_edge_list(g, path)
+    return path
+
+
+def test_cli_stats(graph_file, capsys):
+    assert cli_main(["stats", graph_file]) == 0
+    out = capsys.readouterr().out
+    assert "arboricity = 2" in out
+    assert "n = 20" in out
+
+
+def test_cli_fd(graph_file, tmp_path, capsys):
+    out_path = str(tmp_path / "coloring.txt")
+    code = cli_main([
+        "fd", graph_file, "--epsilon", "0.5", "--alpha", "2",
+        "--out", out_path,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "forests used:" in out
+    assert os.path.exists(out_path)
+    coloring = read_coloring(out_path)
+    assert len(coloring) == 2 * 19
+
+
+def test_cli_orient(graph_file, capsys):
+    code = cli_main([
+        "orient", graph_file, "--alpha", "2", "--method", "exact",
+    ])
+    assert code == 0
+    assert "out-degree bound:" in capsys.readouterr().out
+
+
+def test_cli_sfd(tmp_path, capsys):
+    g = union_of_random_forests(25, 3, seed=5, simple=True)
+    path = str(tmp_path / "simple.txt")
+    write_edge_list(g, path)
+    assert cli_main(["sfd", path, "--epsilon", "0.5", "--alpha", "3"]) == 0
+    assert "star forests used:" in capsys.readouterr().out
+
+
+def test_cli_generate(tmp_path, capsys):
+    out_path = str(tmp_path / "generated.txt")
+    code = cli_main([
+        "generate", "forest-union", "--n", "15", "--alpha", "2",
+        "--seed", "1", "--out", out_path,
+    ])
+    assert code == 0
+    g = read_edge_list(out_path)
+    assert g.n == 15
+    assert g.m == 2 * 14
+
+
+def test_cli_generate_line_multigraph(tmp_path):
+    out_path = str(tmp_path / "line.txt")
+    assert cli_main([
+        "generate", "line-multigraph", "--n", "10", "--alpha", "3",
+        "--out", out_path,
+    ]) == 0
+    g = read_edge_list(out_path)
+    assert g.multiplicity(0, 1) == 3

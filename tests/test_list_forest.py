@@ -1,0 +1,110 @@
+"""Tests for the Theorem 4.10 list-forest decomposition pipeline."""
+
+import math
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.graph import MultiGraph
+from repro.graph.generators import (
+    line_multigraph,
+    random_palettes,
+    uniform_palette,
+    union_of_random_forests,
+)
+from repro.local import RoundCounter
+from repro.core import list_forest_decomposition
+from repro.verify import (
+    check_forest_decomposition,
+    check_palettes_respected,
+    count_colors,
+)
+
+
+def run_lfd(
+    graph,
+    alpha,
+    epsilon=1.0,
+    seed=0,
+    factor=3,
+    splitting="cluster",
+    reserve_probability=None,
+):
+    size = math.ceil((1 + epsilon) * alpha) * factor
+    palettes = random_palettes(graph, size, 3 * size, seed=seed)
+    result = list_forest_decomposition(
+        graph,
+        palettes,
+        epsilon,
+        alpha=alpha,
+        splitting=splitting,
+        reserve_probability=reserve_probability,
+        seed=seed,
+    )
+    check_forest_decomposition(graph, result.coloring)
+    check_palettes_respected(result.coloring, palettes)
+    return result
+
+
+def test_lfd_forest_union():
+    g = union_of_random_forests(40, 3, seed=1)
+    result = run_lfd(g, alpha=3, seed=2)
+    assert result.stats.k0 > 0
+
+
+def test_lfd_multigraph():
+    g = line_multigraph(25, 3)
+    run_lfd(g, alpha=3, seed=3)
+
+
+def test_lfd_independent_splitting():
+    g = union_of_random_forests(30, 2, seed=4)
+    run_lfd(
+        g, alpha=2, seed=5, factor=8, splitting="independent",
+        reserve_probability=0.25,
+    )
+
+
+def test_lfd_uniform_palettes():
+    g = union_of_random_forests(35, 3, seed=6)
+    palettes = uniform_palette(g, range(14))
+    result = list_forest_decomposition(
+        g, palettes, epsilon=1.0, alpha=3, seed=7
+    )
+    check_forest_decomposition(g, result.coloring)
+    check_palettes_respected(result.coloring, palettes)
+    assert count_colors(result.coloring) <= 14
+
+
+def test_lfd_empty_graph():
+    g = MultiGraph.with_vertices(4)
+    result = list_forest_decomposition(g, {}, 0.5)
+    assert result.coloring == {}
+
+
+def test_lfd_rounds_phases():
+    g = union_of_random_forests(25, 2, seed=8)
+    size = 12
+    palettes = random_palettes(g, size, 30, seed=9)
+    rc = RoundCounter()
+    list_forest_decomposition(g, palettes, 1.0, alpha=2, seed=10, rounds=rc)
+    phases = rc.by_phase()
+    assert any("color splitting" in key for key in phases)
+    assert any("algorithm2" in key for key in phases)
+
+
+def test_lfd_unknown_splitting():
+    g = union_of_random_forests(10, 2, seed=11)
+    palettes = uniform_palette(g, range(12))
+    with pytest.raises(DecompositionError):
+        list_forest_decomposition(
+            g, palettes, 0.5, alpha=2, splitting="bogus", seed=12
+        )
+
+
+def test_lfd_deterministic_with_seed():
+    g = union_of_random_forests(25, 2, seed=13)
+    palettes = random_palettes(g, 12, 30, seed=14)
+    a = list_forest_decomposition(g, palettes, 1.0, alpha=2, seed=99)
+    b = list_forest_decomposition(g, palettes, 1.0, alpha=2, seed=99)
+    assert a.coloring == b.coloring

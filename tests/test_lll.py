@@ -1,0 +1,97 @@
+"""Tests for the Moser-Tardos LLL engine."""
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.decomposition import (
+    BadEvent,
+    LLLInstance,
+    dependency_degree,
+    moser_tardos,
+)
+from repro.local import RoundCounter
+
+
+def hypergraph_two_coloring_instance(edges, n):
+    """Classic LLL demo: 2-color vertices so no edge is monochromatic."""
+    instance = LLLInstance()
+    for v in range(n):
+        instance.add_variable(v, lambda rng: rng.randrange(2))
+    for index, edge in enumerate(edges):
+        instance.add_event(
+            f"mono-{index}",
+            edge,
+            lambda a, e=tuple(edge): len({a[v] for v in e}) == 1,
+        )
+    return instance
+
+
+def test_two_coloring_small():
+    # 3-uniform hypergraph, low overlap: LLL applies comfortably.
+    edges = [(0, 1, 2), (2, 3, 4), (4, 5, 6), (6, 7, 8), (8, 9, 0)]
+    instance = hypergraph_two_coloring_instance(edges, 10)
+    assignment = moser_tardos(instance, seed=1)
+    for edge in edges:
+        assert len({assignment[v] for v in edge}) > 1
+
+
+def test_sequential_mode():
+    edges = [(0, 1, 2), (1, 2, 3), (2, 3, 4)]
+    instance = hypergraph_two_coloring_instance(edges, 5)
+    assignment = moser_tardos(instance, seed=2, parallel=False)
+    for edge in edges:
+        assert len({assignment[v] for v in edge}) > 1
+
+
+def test_rounds_charged():
+    edges = [(0, 1, 2)]
+    instance = hypergraph_two_coloring_instance(edges, 3)
+    rc = RoundCounter()
+    moser_tardos(instance, seed=3, rounds=rc)
+    assert rc.total >= 1  # at least the initial sampling round
+
+
+def test_unsatisfiable_raises_convergence_error():
+    # Single-vertex 'edge' is monochromatic under any assignment.
+    instance = LLLInstance()
+    instance.add_variable(0, lambda rng: rng.randrange(2))
+    instance.add_event("impossible", [0], lambda a: True)
+    with pytest.raises(ConvergenceError):
+        moser_tardos(instance, seed=0, max_iterations=50)
+
+
+def test_duplicate_variable_rejected():
+    instance = LLLInstance()
+    instance.add_variable("x", lambda rng: 0)
+    with pytest.raises(ValueError):
+        instance.add_variable("x", lambda rng: 1)
+
+
+def test_unknown_variable_rejected():
+    instance = LLLInstance()
+    with pytest.raises(ValueError):
+        instance.add_event("bad", ["ghost"], lambda a: False)
+
+
+def test_no_events_returns_sample():
+    instance = LLLInstance()
+    instance.add_variable("x", lambda rng: 7)
+    assignment = moser_tardos(instance, seed=5)
+    assert assignment == {"x": 7}
+
+
+def test_dependency_degree():
+    instance = LLLInstance()
+    for v in range(4):
+        instance.add_variable(v, lambda rng: 0)
+    instance.add_event("a", [0, 1], lambda a: False)
+    instance.add_event("b", [1, 2], lambda a: False)
+    instance.add_event("c", [3], lambda a: False)
+    assert dependency_degree(instance) == 1  # a-b share variable 1; c isolated
+
+
+def test_deterministic_given_seed():
+    edges = [(0, 1, 2), (2, 3, 4)]
+    a = moser_tardos(hypergraph_two_coloring_instance(edges, 5), seed=42)
+    b = moser_tardos(hypergraph_two_coloring_instance(edges, 5), seed=42)
+    assert a == b

@@ -1,0 +1,137 @@
+"""Tests for the exact matroid-partition forest decomposition."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.graph import MultiGraph, is_forest
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    line_multigraph,
+    path_graph,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.nashwilliams import (
+    exact_arboricity,
+    exact_forest_decomposition,
+    exact_forest_partition,
+    nash_williams_density_exact,
+)
+
+
+def check_valid_fd(graph, coloring, num_forests):
+    assert set(coloring.keys()) == set(graph.edge_ids())
+    by_color = {}
+    for eid, c in coloring.items():
+        assert 0 <= c < num_forests
+        by_color.setdefault(c, []).append(eid)
+    for eids in by_color.values():
+        assert is_forest(graph, eids)
+
+
+def test_empty_graph():
+    g = MultiGraph.with_vertices(4)
+    result = exact_forest_partition(g)
+    assert result.num_forests == 0
+    assert result.coloring == {}
+
+
+def test_single_edge():
+    g = MultiGraph.from_edges(2, [(0, 1)])
+    assert exact_arboricity(g) == 1
+
+
+def test_tree_arboricity_one():
+    g = star_graph(8)
+    result = exact_forest_partition(g)
+    assert result.num_forests == 1
+    check_valid_fd(g, result.coloring, 1)
+
+
+def test_cycle_arboricity_two():
+    g = cycle_graph(5)
+    assert exact_arboricity(g) == 2
+
+
+def test_parallel_pair():
+    g = MultiGraph.from_edges(2, [(0, 1), (0, 1)])
+    assert exact_arboricity(g) == 2
+
+
+def test_line_multigraph_arboricity():
+    g = line_multigraph(6, 4)
+    result = exact_forest_partition(g)
+    assert result.num_forests == 4
+    check_valid_fd(g, result.coloring, 4)
+
+
+def test_complete_graph_arboricity():
+    # alpha(K_n) = ceil(n/2).
+    for n in (3, 4, 5, 6, 7):
+        assert exact_arboricity(complete_graph(n)) == math.ceil(n / 2)
+
+
+def test_grid_arboricity_two():
+    g = grid_graph(4, 4)
+    assert exact_arboricity(g) == 2
+
+
+def test_forest_union_exact():
+    g = union_of_random_forests(25, 3, seed=11)
+    result = exact_forest_partition(g)
+    # m = 3(n-1) forces alpha >= 3; union of 3 forests gives alpha <= 3.
+    assert result.num_forests == 3
+    check_valid_fd(g, result.coloring, 3)
+
+
+def test_max_forests_cap():
+    g = complete_graph(6)  # alpha = 3
+    with pytest.raises(DecompositionError):
+        exact_forest_partition(g, max_forests=2)
+
+
+def test_exact_forest_decomposition_wrapper():
+    g = cycle_graph(4)
+    coloring = exact_forest_decomposition(g)
+    check_valid_fd(g, coloring, 2)
+
+
+def test_classes_view():
+    g = cycle_graph(4)
+    result = exact_forest_partition(g)
+    classes = result.classes()
+    assert sum(len(v) for v in classes.values()) == g.m
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_matches_nash_williams_density(seed):
+    """alpha from matroid partition == brute-force Nash-Williams bound."""
+    import random
+
+    rng = random.Random(seed)
+    n = rng.randint(2, 7)
+    g = MultiGraph.with_vertices(n)
+    m = rng.randint(0, 12)
+    for _ in range(m):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    result = exact_forest_partition(g)
+    check_valid_fd(g, result.coloring, max(result.num_forests, 1))
+    assert result.num_forests == nash_williams_density_exact(g)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 100_000))
+def test_er_graphs_valid(seed):
+    g = erdos_renyi(15, 0.3, seed=seed)
+    result = exact_forest_partition(g)
+    check_valid_fd(g, result.coloring, max(result.num_forests, 1))

@@ -1,0 +1,158 @@
+"""Tests for network decomposition (full and MPX partial)."""
+
+import math
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.graph import MultiGraph, bfs_distances, power_graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    union_of_random_forests,
+)
+from repro.local import RoundCounter
+from repro.decomposition import (
+    cut_edges_of_clustering,
+    network_decomposition,
+    partial_network_decomposition,
+    validate_network_decomposition,
+)
+
+
+def diameter_cap(n):
+    return 2 * max(1, math.ceil(math.log2(n + 1))) + 2
+
+
+def class_cap(n):
+    return 2 * max(1, math.ceil(math.log2(n + 1))) + 4
+
+
+def test_nd_path():
+    g = path_graph(50)
+    nd = network_decomposition(g)
+    validate_network_decomposition(g, nd, diameter_cap(50), class_cap(50))
+
+
+def test_nd_grid():
+    g = grid_graph(8, 8)
+    nd = network_decomposition(g)
+    validate_network_decomposition(g, nd, diameter_cap(64), class_cap(64))
+
+
+def test_nd_forest_union():
+    g = union_of_random_forests(120, 3, seed=2)
+    nd = network_decomposition(g)
+    validate_network_decomposition(g, nd, diameter_cap(120), class_cap(120))
+
+
+def test_nd_complete_graph_single_cluster():
+    g = complete_graph(12)
+    nd = network_decomposition(g)
+    validate_network_decomposition(g, nd, diameter_cap(12), class_cap(12))
+    # K_n fits in one ball: one class, one cluster.
+    assert nd.num_classes == 1
+    assert len(nd.classes[0]) == 1
+
+
+def test_nd_empty_graph():
+    g = MultiGraph()
+    nd = network_decomposition(g)
+    assert nd.num_classes == 0
+
+
+def test_nd_isolated_vertices():
+    g = MultiGraph.with_vertices(5)
+    nd = network_decomposition(g)
+    validate_network_decomposition(g, nd, 0, class_cap(5))
+    assert nd.num_classes == 1  # all isolated vertices are singleton balls
+
+
+def test_nd_on_power_graph():
+    g = path_graph(40)
+    g2 = power_graph(g, 2)
+    nd = network_decomposition(g2, radius_cost=2)
+    validate_network_decomposition(g2, nd, diameter_cap(40), class_cap(40))
+
+
+def test_nd_round_charging():
+    g = path_graph(30)
+    rc = RoundCounter()
+    network_decomposition(g, rounds=rc, radius_cost=3)
+    base = RoundCounter()
+    network_decomposition(g, rounds=base, radius_cost=1)
+    assert rc.total == 3 * base.total > 0
+
+
+def test_nd_all_clusters_iteration():
+    g = cycle_graph(20)
+    nd = network_decomposition(g)
+    clusters = nd.all_clusters()
+    total = sum(len(cluster) for _z, cluster in clusters)
+    assert total == 20
+
+
+def test_nd_vertex_classes():
+    g = path_graph(10)
+    nd = network_decomposition(g)
+    classes = nd.vertex_classes()
+    assert set(classes.keys()) == set(g.vertices())
+
+
+# ----------------------------------------------------------------------
+# MPX partial network decomposition
+# ----------------------------------------------------------------------
+
+
+def test_mpx_covers_all_vertices():
+    g = grid_graph(6, 6)
+    heads = partial_network_decomposition(g, beta=0.3, seed=1)
+    assert set(heads.keys()) == set(g.vertices())
+
+
+def test_mpx_clusters_connected_and_bounded():
+    g = grid_graph(7, 7)
+    heads = partial_network_decomposition(g, beta=0.5, seed=3)
+    by_head = {}
+    for v, h in heads.items():
+        by_head.setdefault(h, []).append(v)
+    radius_cap = math.ceil(math.log(g.n) / 0.5) * 3 + 3  # generous whp cap
+    for head, members in by_head.items():
+        dist = bfs_distances(g, [head])
+        for v in members:
+            assert v in dist and dist[v] <= radius_cap
+
+
+def test_mpx_cut_probability():
+    """Average edge-cut fraction over seeds should be near beta or less."""
+    g = grid_graph(10, 10)
+    beta = 0.2
+    fractions = []
+    for seed in range(10):
+        heads = partial_network_decomposition(g, beta=beta, seed=seed)
+        cut = cut_edges_of_clustering(g, heads)
+        fractions.append(len(cut) / g.m)
+    average = sum(fractions) / len(fractions)
+    assert average <= 2.0 * beta  # beta bound with generous slack
+
+
+def test_mpx_beta_validation():
+    g = path_graph(4)
+    with pytest.raises(DecompositionError):
+        partial_network_decomposition(g, beta=0.0)
+    with pytest.raises(DecompositionError):
+        partial_network_decomposition(g, beta=1.5)
+
+
+def test_mpx_empty_graph():
+    assert partial_network_decomposition(MultiGraph(), beta=0.5) == {}
+
+
+def test_mpx_deterministic_with_seed():
+    g = erdos_renyi(30, 0.2, seed=4)
+    a = partial_network_decomposition(g, beta=0.4, seed=11)
+    b = partial_network_decomposition(g, beta=0.4, seed=11)
+    assert a == b

@@ -1,0 +1,88 @@
+"""Tests for Corollary 1.1: (1+eps)alpha orientations."""
+
+import math
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.graph import MultiGraph
+from repro.graph.generators import (
+    cycle_graph,
+    line_multigraph,
+    union_of_random_forests,
+)
+from repro.local import RoundCounter
+from repro.core import (
+    low_outdegree_orientation,
+    orientation_from_forest_decomposition,
+)
+from repro.nashwilliams import exact_forest_decomposition
+from repro.verify import check_orientation
+
+
+def test_orientation_from_fd_bound():
+    g = union_of_random_forests(40, 3, seed=1)
+    fd = exact_forest_decomposition(g)
+    orientation = orientation_from_forest_decomposition(g, fd)
+    # Out-degree bounded by the number of forests (= 3).
+    check_orientation(g, orientation, 3)
+
+
+def test_orientation_covers_all_edges():
+    g = cycle_graph(10)
+    fd = exact_forest_decomposition(g)
+    orientation = orientation_from_forest_decomposition(g, fd)
+    assert set(orientation.keys()) == set(g.edge_ids())
+
+
+def test_low_outdegree_augmentation_method():
+    g = union_of_random_forests(50, 3, seed=2)
+    orientation, bound = low_outdegree_orientation(
+        g, epsilon=0.8, alpha=3, method="augmentation", seed=3
+    )
+    assert bound <= math.ceil(1.8 * 3)
+    check_orientation(g, orientation, bound)
+
+
+def test_low_outdegree_beats_baseline():
+    """Corollary 1.1's point: augmentation reaches (1+eps)alpha while
+    the H-partition baseline only reaches (2+eps)alpha*."""
+    g = union_of_random_forests(60, 4, seed=4)
+    ours, our_bound = low_outdegree_orientation(
+        g, 0.5, alpha=4, method="augmentation", seed=5
+    )
+    base, base_bound = low_outdegree_orientation(
+        g, 0.5, alpha=4, method="hpartition", seed=6
+    )
+    check_orientation(g, ours, our_bound)
+    check_orientation(g, base, base_bound)
+    assert our_bound < base_bound
+
+
+def test_low_outdegree_exact_method():
+    g = line_multigraph(10, 4)
+    orientation, bound = low_outdegree_orientation(
+        g, 0.25, alpha=4, method="exact"
+    )
+    check_orientation(g, orientation, bound)
+    assert bound == 5
+
+
+def test_unknown_method():
+    g = cycle_graph(5)
+    with pytest.raises(DecompositionError):
+        low_outdegree_orientation(g, 0.5, method="bogus")
+
+
+def test_orientation_rounds_charged():
+    g = union_of_random_forests(30, 2, seed=7)
+    rc = RoundCounter()
+    low_outdegree_orientation(g, 0.8, alpha=2, method="augmentation", seed=8, rounds=rc)
+    assert rc.total > 0
+
+
+def test_orientation_on_multigraph_parallel_edges():
+    g = MultiGraph.from_edges(2, [(0, 1), (0, 1), (0, 1), (0, 1)])
+    fd = exact_forest_decomposition(g)  # 4 forests of one edge each
+    orientation = orientation_from_forest_decomposition(g, fd)
+    check_orientation(g, orientation, 4)

@@ -1,0 +1,117 @@
+"""Hypothesis property tests for cross-cutting invariants.
+
+These complement the per-module property tests with whole-pipeline
+invariants on randomly generated multigraphs:
+
+* every public decomposition is valid and within its color budget;
+* arboricity relations hold (alpha* <= alpha <= 2 alpha*, degeneracy
+  <= 2 alpha - 1, alphastar >= alpha);
+* generators deliver their advertised guarantees.
+"""
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import forest_decomposition_algorithm2
+from repro.decomposition.degeneracy import degeneracy_ordering
+from repro.graph import MultiGraph, connected_components, is_forest
+from repro.graph.generators import union_of_random_forests
+from repro.nashwilliams import (
+    exact_arboricity,
+    exact_pseudoarboricity,
+    orientation_exists,
+)
+from repro.verify import check_forest_decomposition
+
+
+def random_multigraph(rng, max_n=10, max_m=18):
+    n = rng.randint(2, max_n)
+    g = MultiGraph.with_vertices(n)
+    for _ in range(rng.randint(0, max_m)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 1_000_000))
+def test_pipeline_fd_valid_and_budgeted(seed):
+    rng = random.Random(seed)
+    g = random_multigraph(rng)
+    if g.m == 0:
+        return
+    alpha = exact_arboricity(g)
+    epsilon = rng.choice((0.5, 1.0))
+    result = forest_decomposition_algorithm2(g, epsilon, alpha=alpha, seed=seed)
+    check_forest_decomposition(g, result.coloring)
+    assert alpha <= result.colors_used <= math.ceil((1 + epsilon) * alpha)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 1_000_000))
+def test_parameter_relations(seed):
+    """alpha* <= alpha <= 2 alpha*; degeneracy <= 2 alpha - 1; an
+    alpha*-orientation always exists; no (alpha*-1)-orientation does."""
+    rng = random.Random(seed)
+    g = random_multigraph(rng)
+    if g.m == 0:
+        return
+    alpha = exact_arboricity(g)
+    pseudo = exact_pseudoarboricity(g)
+    degeneracy, _ = degeneracy_ordering(g)
+    assert pseudo <= alpha <= 2 * pseudo
+    assert degeneracy <= 2 * alpha - 1
+    assert orientation_exists(g, pseudo) is not None
+    if pseudo > 0:
+        assert orientation_exists(g, pseudo - 1) is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 1_000_000), st.integers(1, 4))
+def test_forest_union_generator_guarantees(seed, k):
+    """union_of_random_forests(n, k): m = k(n-1), alpha = k exactly."""
+    rng = random.Random(seed)
+    n = rng.randint(3, 12)
+    g = union_of_random_forests(n, k, seed=seed)
+    assert g.m == k * (n - 1)
+    assert exact_arboricity(g) == k
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 1_000_000))
+def test_forest_layers_are_forests(seed):
+    """Each layer of the union generator is itself a spanning forest."""
+    rng = random.Random(seed)
+    n = rng.randint(3, 15)
+    g = union_of_random_forests(n, 3, seed=seed)
+    # Layer i = edges (i(n-1)) .. ((i+1)(n-1) - 1) by construction order.
+    per_layer = n - 1
+    for layer in range(3):
+        eids = list(range(layer * per_layer, (layer + 1) * per_layer))
+        assert is_forest(g, eids)
+        # A spanning forest on n vertices with n-1 edges is connected.
+        sub = g.edge_subgraph(eids)
+        comps = [
+            c for c in connected_components(sub) if len(c) > 1 or True
+        ]
+        assert len(connected_components(sub)) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1_000_000))
+def test_exact_fd_is_minimum(seed):
+    """No valid FD exists with fewer than alpha colors (spot-check by
+    density witness): m > (alpha-1)(n-1) for the whole graph or some
+    subgraph — verified via the matroid certificate."""
+    rng = random.Random(seed)
+    g = random_multigraph(rng, max_n=7, max_m=12)
+    if g.m == 0:
+        return
+    alpha = exact_arboricity(g)
+    from repro.nashwilliams import nash_williams_density_exact
+
+    assert nash_williams_density_exact(g) == alpha

@@ -1,0 +1,148 @@
+"""Tests for exact pseudoarboricity and orientations."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import MultiGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    line_multigraph,
+    path_graph,
+    star_graph,
+    union_of_random_forests,
+)
+from repro.nashwilliams import (
+    exact_arboricity,
+    exact_pseudoarboricity,
+    exact_pseudoarboricity_with_orientation,
+    orientation_exists,
+    out_degrees,
+    pseudoforest_decomposition_from_orientation,
+)
+
+
+def check_orientation(graph, orientation, k):
+    assert set(orientation.keys()) == set(graph.edge_ids())
+    for eid, tail in orientation.items():
+        assert tail in graph.endpoints(eid)
+    for v, d in out_degrees(graph, orientation).items():
+        assert d <= k
+
+
+def test_path_pseudoarboricity_one():
+    g = path_graph(6)
+    assert exact_pseudoarboricity(g) == 1
+
+
+def test_cycle_pseudoarboricity_one():
+    # A cycle is one pseudoforest but needs two forests.
+    g = cycle_graph(6)
+    assert exact_pseudoarboricity(g) == 1
+    assert exact_arboricity(g) == 2
+
+
+def test_orientation_witness():
+    g = cycle_graph(6)
+    k, orientation = exact_pseudoarboricity_with_orientation(g)
+    assert k == 1
+    check_orientation(g, orientation, 1)
+
+
+def test_orientation_exists_infeasible():
+    g = complete_graph(5)  # m=10, n=5: out-degree 1 gives only 5 units
+    assert orientation_exists(g, 1) is None
+    witness = orientation_exists(g, 2)
+    assert witness is not None
+    check_orientation(g, witness, 2)
+
+
+def test_orientation_negative_k():
+    with pytest.raises(GraphError):
+        orientation_exists(path_graph(3), -1)
+
+
+def test_orientation_empty_graph():
+    g = MultiGraph.with_vertices(3)
+    assert orientation_exists(g, 0) == {}
+    assert exact_pseudoarboricity(g) == 0
+
+
+def test_line_multigraph():
+    # Two vertices, 4 parallel edges: 2 oriented out of each endpoint.
+    g = line_multigraph(2, 4)
+    assert exact_pseudoarboricity(g) == 2
+    # Longer line: density 16/5 forces alpha* = 4.
+    g5 = line_multigraph(5, 4)
+    assert exact_pseudoarboricity(g5) == 4
+
+
+def test_star_pseudoarboricity():
+    g = star_graph(10)
+    assert exact_pseudoarboricity(g) == 1
+
+
+def test_pseudoforest_decomposition():
+    g = complete_graph(6)
+    k, orientation = exact_pseudoarboricity_with_orientation(g)
+    coloring = pseudoforest_decomposition_from_orientation(g, orientation)
+    assert set(coloring.keys()) == set(g.edge_ids())
+    assert max(coloring.values()) < k
+    # Each class has <= 1 out-edge per vertex: a functional graph.
+    for index in set(coloring.values()):
+        tails = [orientation[e] for e, c in coloring.items() if c == index]
+        assert len(tails) == len(set(tails))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_sandwich_bounds(seed):
+    """alpha* <= alpha <= 2 alpha* (Section 1)."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 8)
+    g = MultiGraph.with_vertices(n)
+    for _ in range(rng.randint(0, 14)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    alpha = exact_arboricity(g)
+    pseudo = exact_pseudoarboricity(g)
+    assert pseudo <= alpha <= max(2 * pseudo, pseudo + (1 if pseudo else 0))
+    if g.m:
+        assert pseudo >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_density_lower_bound(seed):
+    """alpha* >= ceil(|E(H)|/|V(H)|) for every induced subgraph H."""
+    import itertools
+
+    rng = random.Random(seed)
+    n = rng.randint(2, 7)
+    g = MultiGraph.with_vertices(n)
+    for _ in range(rng.randint(1, 12)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    pseudo = exact_pseudoarboricity(g)
+    edges = [(u, v) for _e, u, v in g.edges()]
+    for size in range(1, n + 1):
+        for subset in itertools.combinations(range(n), size):
+            inside = set(subset)
+            count = sum(1 for u, v in edges if u in inside and v in inside)
+            assert pseudo >= math.ceil(count / size)
+
+
+def test_simple_graph_relation():
+    """For simple graphs alpha <= alpha* + 1 [PQ82]."""
+    for seed in range(5):
+        g = union_of_random_forests(15, 3, seed=seed, simple=True)
+        alpha = exact_arboricity(g)
+        pseudo = exact_pseudoarboricity(g)
+        assert alpha <= pseudo + 1

@@ -1,0 +1,99 @@
+"""Tests for pseudoforest validation and the public pseudoforest API."""
+
+import pytest
+
+import repro
+from repro.errors import ValidationError
+from repro.graph import MultiGraph
+from repro.graph.generators import (
+    cycle_graph,
+    line_multigraph,
+    path_graph,
+    union_of_random_forests,
+)
+from repro.verify import check_pseudoforest_decomposition, is_pseudoforest
+
+
+def test_path_is_pseudoforest():
+    g = path_graph(5)
+    assert is_pseudoforest(g, g.edge_ids())
+
+
+def test_single_cycle_is_pseudoforest():
+    g = cycle_graph(5)
+    assert is_pseudoforest(g, g.edge_ids())
+
+
+def test_two_cycles_sharing_component_not_pseudoforest():
+    # Theta graph: two vertices joined by three parallel paths -> 2 cycles.
+    g = MultiGraph.with_vertices(2)
+    g.add_edge(0, 1)
+    g.add_edge(0, 1)
+    g.add_edge(0, 1)
+    assert not is_pseudoforest(g, g.edge_ids())
+
+
+def test_two_disjoint_cycles_are_pseudoforest():
+    g = MultiGraph.with_vertices(6)
+    eids = [
+        g.add_edge(0, 1), g.add_edge(1, 2), g.add_edge(2, 0),
+        g.add_edge(3, 4), g.add_edge(4, 5), g.add_edge(5, 3),
+    ]
+    assert is_pseudoforest(g, eids)
+
+
+def test_cycle_with_attached_cycle_not_pseudoforest():
+    g = MultiGraph.with_vertices(5)
+    eids = [
+        g.add_edge(0, 1), g.add_edge(1, 2), g.add_edge(2, 0),  # triangle
+        g.add_edge(2, 3), g.add_edge(3, 4), g.add_edge(4, 2),  # triangle
+    ]
+    assert not is_pseudoforest(g, eids)
+
+
+def test_check_pseudoforest_decomposition():
+    g = cycle_graph(6)
+    coloring = {eid: 0 for eid in g.edge_ids()}
+    assert check_pseudoforest_decomposition(g, coloring) == 1
+
+
+def test_check_pseudoforest_detects_violation():
+    g = MultiGraph.from_edges(2, [(0, 1), (0, 1), (0, 1)])
+    coloring = {eid: 0 for eid in g.edge_ids()}
+    with pytest.raises(ValidationError):
+        check_pseudoforest_decomposition(g, coloring)
+
+
+def test_check_pseudoforest_requires_total():
+    g = path_graph(3)
+    with pytest.raises(ValidationError):
+        check_pseudoforest_decomposition(g, {0: 0})
+
+
+def test_pseudoforest_decomposition_api():
+    g = union_of_random_forests(40, 3, seed=1)
+    coloring, bound = repro.pseudoforest_decomposition(
+        g, epsilon=0.5, alpha=3, seed=2
+    )
+    count = check_pseudoforest_decomposition(g, coloring, max_colors=bound)
+    assert count <= bound <= 5  # ceil(1.5 * 3)
+
+
+def test_pseudoforest_on_cycle_single_class():
+    g = cycle_graph(8)
+    coloring, bound = repro.pseudoforest_decomposition(
+        g, epsilon=0.5, alpha=2, method="exact", seed=3
+    )
+    # alpha* of a cycle is 1: a 1-orientation makes one pseudoforest...
+    # via the exact method bound = (1+eps) alpha = 3, but the witness
+    # orientation has out-degree 1, so at most 1 class is used... allow
+    # the validator to confirm whatever was produced.
+    check_pseudoforest_decomposition(g, coloring, max_colors=bound)
+
+
+def test_line_multigraph_pseudoforests():
+    g = line_multigraph(10, 4)
+    coloring, bound = repro.pseudoforest_decomposition(
+        g, epsilon=0.25, alpha=4, method="exact", seed=4
+    )
+    check_pseudoforest_decomposition(g, coloring, max_colors=bound)

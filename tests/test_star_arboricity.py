@@ -1,0 +1,116 @@
+"""Tests for exact star arboricity (small-graph backtracking)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import MultiGraph, is_star_forest
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.nashwilliams import (
+    exact_arboricity,
+    exact_star_arboricity,
+    star_arboricity_bounds,
+    star_forest_partition_exists,
+)
+
+
+def check_valid_sfd(graph, assignment, k):
+    assert set(assignment.keys()) == set(graph.edge_ids())
+    by_color = {}
+    for eid, c in assignment.items():
+        assert 0 <= c < k
+        by_color.setdefault(c, []).append(eid)
+    for eids in by_color.values():
+        assert is_star_forest(graph, eids)
+
+
+def test_star_is_one():
+    g = star_graph(6)
+    assert exact_star_arboricity(g) == 1
+
+
+def test_path3_is_one():
+    g = path_graph(3)
+    assert exact_star_arboricity(g) == 1
+
+
+def test_path4_is_two():
+    # A path of 3 edges cannot be a single star forest.
+    g = path_graph(4)
+    assert exact_star_arboricity(g) == 2
+
+
+def test_cycle_star_arboricity():
+    g = cycle_graph(5)
+    value = exact_star_arboricity(g)
+    assert value == 2
+
+
+def test_parallel_edges_need_distinct_classes():
+    g = MultiGraph.from_edges(2, [(0, 1), (0, 1)])
+    assert exact_star_arboricity(g) == 2
+
+
+def test_partition_witness_valid():
+    g = cycle_graph(6)
+    k = exact_star_arboricity(g)
+    witness = star_forest_partition_exists(g, k)
+    assert witness is not None
+    check_valid_sfd(g, witness, k)
+
+
+def test_partition_infeasible_below():
+    g = path_graph(4)
+    assert star_forest_partition_exists(g, 1) is None
+
+
+def test_empty_graph():
+    g = MultiGraph.with_vertices(3)
+    assert exact_star_arboricity(g) == 0
+    assert star_forest_partition_exists(g, 0) == {}
+
+
+def test_size_guard():
+    g = complete_graph(12)  # 66 edges > default cap
+    with pytest.raises(GraphError):
+        exact_star_arboricity(g)
+
+
+def test_k4():
+    # alpha(K4) = 2; star arboricity of K4 is known to be 3.
+    g = complete_graph(4)
+    assert exact_star_arboricity(g) == 3
+
+
+def test_bounds_helper():
+    g = cycle_graph(7)
+    low, high = star_arboricity_bounds(g)
+    assert low == 2 and high == 4
+    assert low <= exact_star_arboricity(g) <= high
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_sandwich_alpha_2alpha(seed):
+    """alpha <= alphastar <= 2 alpha on random small graphs."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 6)
+    g = MultiGraph.with_vertices(n)
+    for _ in range(rng.randint(0, 9)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    alpha = exact_arboricity(g)
+    astar = exact_star_arboricity(g)
+    if alpha == 0:
+        assert astar == 0
+    else:
+        assert alpha <= astar <= 2 * alpha
