@@ -1,0 +1,23 @@
+# Developer entry points.  PYTHONPATH=src is the only wiring the
+# offline environment needs (no editable install available).
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+export PYTHONPATH
+
+.PHONY: test test-fast bench-kernel golden-regen
+
+# Tier-1 verify: the full suite, fail-fast.
+test:
+	python -m pytest -x -q
+
+# Quick loop: skips the slow example sweeps (~seconds instead of ~a minute).
+test-fast:
+	python -m pytest -x -q -m "not slow"
+
+# Dict vs flat-array kernel on the peeling hot paths (asserts >= 2x at n >= 2000).
+bench-kernel:
+	python benchmarks/bench_kernel.py
+
+# Re-freeze tests/golden/*.json after an intentional output change.
+golden-regen:
+	python -m pytest tests/test_golden_regression.py --regen -q

@@ -1,7 +1,11 @@
 """Setup shim for legacy editable installs (offline environment lacks the
-``wheel`` package, so PEP 517 editable builds are unavailable).  All real
-metadata lives in pyproject.toml."""
+``wheel`` package, so PEP 517 editable builds are unavailable).  This file
+is the only packaging metadata the repo carries."""
 
 from setuptools import setup
 
-setup()
+setup(
+    # The flat-array graph kernel (repro.graph.csr) made numpy the
+    # library's one third-party dependency.
+    install_requires=["numpy"],
+)

@@ -183,13 +183,15 @@ def barenboim_elkin_forest_decomposition(
     if pseudoarboricity is None:
         pseudoarboricity = exact_pseudoarboricity(graph)
     threshold = max(1, default_threshold(pseudoarboricity, epsilon))
-    partition = h_partition(graph, threshold, counter)
     from ..decomposition.hpartition import (
         acyclic_orientation,
         rooted_forests_from_orientation,
     )
+    from ..graph.csr import CSRGraph
 
-    orientation = acyclic_orientation(graph, partition, counter)
+    snapshot = CSRGraph.from_multigraph(graph)
+    partition = h_partition(graph, threshold, counter, snapshot=snapshot)
+    orientation = acyclic_orientation(graph, partition, counter, snapshot=snapshot)
     forests = rooted_forests_from_orientation(graph, orientation)
     coloring: Dict[int, int] = {}
     for label, eids in enumerate(forests):

@@ -69,19 +69,20 @@ def find_almost_augmenting_sequence(
     if state.is_leftover(start):
         raise AugmentationError(f"edge {start} was removed by CUT")
 
-    graph = state.graph
+    # Flat-array endpoint lookups (shared snapshot): the growth loop
+    # below touches every explored edge's endpoints once per iteration,
+    # which dominates the search on large neighborhoods.
+    u_of, v_of = state.csr_snapshot().endpoint_maps()
 
     def allowed(eid: int) -> bool:
         if allowed_vertices is None:
             return True
-        u, v = graph.endpoints(eid)
-        return u in allowed_vertices and v in allowed_vertices
+        return u_of[eid] in allowed_vertices and v_of[eid] in allowed_vertices
 
     explored: Set[int] = {start}
     discovery: Dict[int, int] = {}  # π: newly added edge -> source edge
     # Vertices spanned by explored edges, for fast adjacency tests.
-    u0, v0 = graph.endpoints(start)
-    spanned: Set[int] = {u0, v0}
+    spanned: Set[int] = {u_of[start], v_of[start]}
     path_cache: Dict[Tuple[int, int], Optional[List[int]]] = {}
 
     iteration = 0
@@ -110,17 +111,15 @@ def find_almost_augmenting_sequence(
                 for member in path:
                     if member in explored or not allowed(member):
                         continue
-                    a, b = graph.endpoints(member)
-                    if a in spanned or b in spanned:
+                    if u_of[member] in spanned or v_of[member] in spanned:
                         explored.add(member)
                         discovery[member] = eid
                         newly_added.append(member)
         if not newly_added:
             return None
         for eid in newly_added:
-            a, b = graph.endpoints(eid)
-            spanned.add(a)
-            spanned.add(b)
+            spanned.add(u_of[eid])
+            spanned.add(v_of[eid])
 
 
 def _backtrack(

@@ -107,14 +107,18 @@ class CutController:
         self.load: Dict[int, int] = {v: 0 for v in self.graph.vertices()}
         self.load_budget = max(1, math.ceil(epsilon * alpha))
         self.stats = CutStats()
+        # Flat-array snapshot shared with the augmenting searches: the
+        # region BFS and the E(N^R(C')) \ E(C') scan run vectorized.
+        self.snapshot = state.csr_snapshot()
 
     # ------------------------------------------------------------------
 
     def cut(self, core: Set[int], radius: int) -> List[int]:
         """Execute CUT(core, R); returns the removed edge ids."""
         self.stats.invocations += 1
-        region = neighborhood(self.graph, core, radius)
-        removable = self._removable_edges(core, region)
+        region_mask = self.snapshot.neighborhood_mask(core, radius)
+        region = self.snapshot.vertex_set_from_mask(region_mask)
+        removable = self._removable_edges(core, region_mask)
         if self.rule == "depth_residue":
             removed = self._cut_depth_residue(core, region, removable, radius)
         else:
@@ -127,13 +131,20 @@ class CutController:
         self.rounds.charge(2 * radius + 1, "CUT invocation")
         return removed
 
-    def _removable_edges(self, core: Set[int], region: Set[int]) -> Set[int]:
-        """E(N^R(core)) \\ E(core): candidates for removal."""
-        out: Set[int] = set()
-        for eid, u, v in self.graph.edges():
-            if u in region and v in region and not (u in core and v in core):
-                out.add(eid)
-        return out
+    def _removable_edges(self, core: Set[int], region_mask) -> Set[int]:
+        """E(N^R(core)) \\ E(core): candidates for removal.
+
+        ``region_mask`` is the dense-index membership mask of
+        ``N^R(core)``; the both-endpoints tests evaluate as three array
+        ops instead of a Python loop over every edge.
+        """
+        snap = self.snapshot
+        if snap.num_edges == 0:
+            return set()
+        core_mask = snap.mask_of(core)
+        in_region = region_mask[snap.edge_u] & region_mask[snap.edge_v]
+        in_core = core_mask[snap.edge_u] & core_mask[snap.edge_v]
+        return set(snap.edge_id[in_region & ~in_core].tolist())
 
     # -- depth-residue rule ---------------------------------------------
 

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import AugmentationError, DecompositionError
 from ..graph.multigraph import MultiGraph
-from ..graph.traversal import neighborhood, power_graph
+from ..graph.traversal import power_graph
 from ..local.rounds import RoundCounter, ensure_counter
 from ..nashwilliams.arboricity import exact_arboricity
 from ..nashwilliams.pseudoarboricity import exact_pseudoarboricity
@@ -153,8 +153,13 @@ def algorithm2(
     if cut_rule == "conditioned_sampling":
         with counter.phase("orientation J"):
             pseudo = exact_pseudoarboricity(graph)
-            partition = h_partition(graph, max(1, 3 * pseudo), counter)
-            orientation_j = acyclic_orientation(graph, partition, counter)
+            snapshot = state.csr_snapshot()
+            partition = h_partition(
+                graph, max(1, 3 * pseudo), counter, snapshot=snapshot
+            )
+            orientation_j = acyclic_orientation(
+                graph, partition, counter, snapshot=snapshot
+            )
 
     controller = CutController(
         state,
@@ -207,7 +212,8 @@ def _process_cluster(
     counter: RoundCounter,
 ) -> None:
     stats.clusters_processed += 1
-    core = neighborhood(graph, cluster, r_prime)  # C' = N^{R'}(C)
+    snapshot = state.csr_snapshot()
+    core = snapshot.neighborhood_set(cluster, r_prime)  # C' = N^{R'}(C)
     controller.cut(core, r)
     if is_cut_good(state, core, r):
         stats.good_cuts += 1
@@ -224,7 +230,7 @@ def _process_cluster(
         if state.color_of(eid) is not None or state.is_leftover(eid):
             continue
         u, v = graph.endpoints(eid)
-        ball = neighborhood(graph, (u, v), r_prime)
+        ball = snapshot.neighborhood_set((u, v), r_prime)
         search_stats = AugmentationStats()
         try:
             sequence = augment_edge(state, eid, ball, stats=search_stats)

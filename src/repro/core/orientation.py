@@ -18,7 +18,8 @@ import math
 from typing import Dict, Optional, Tuple
 
 from ..errors import DecompositionError
-from ..graph.forests import RootedForest, color_classes
+from ..graph.csr import CSRGraph, rooted_forest_arrays
+from ..graph.forests import color_classes
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
 from ..nashwilliams.pseudoarboricity import exact_pseudoarboricity, orientation_exists
@@ -47,14 +48,20 @@ def orientation_from_forest_decomposition(
     where D is the largest tree diameter (the paper's conversion cost).
     """
     counter = ensure_counter(rounds)
+    snapshot = CSRGraph.from_multigraph(graph)
     orientation: Orientation = {}
     worst_depth = 0
     for _color, eids in sorted(color_classes(coloring).items()):
-        forest = RootedForest(graph, eids)
-        worst_depth = max(worst_depth, forest.max_depth())
-        for vertex, eid in forest.parent_edge.items():
-            if eid is not None:
-                orientation[eid] = vertex  # tail = child; edge points to parent
+        forest = rooted_forest_arrays(snapshot, eids)
+        worst_depth = max(worst_depth, forest.max_depth)
+        children = forest.parent_eid >= 0
+        # tail = child; edge points to parent
+        orientation.update(
+            zip(
+                forest.parent_eid[children].tolist(),
+                snapshot.vertex_ids[children].tolist(),
+            )
+        )
     counter.charge(2 * worst_depth + 1, "orient toward roots")
     return orientation
 
@@ -66,6 +73,7 @@ def low_outdegree_orientation(
     method: str = "augmentation",
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "csr",
 ) -> Tuple[Orientation, int]:
     """A (1+ε)α-orientation; returns (orientation, out-degree bound).
 
@@ -76,6 +84,10 @@ def low_outdegree_orientation(
       Out-degree ≤ #forests ≈ (1+ε)α; rounds linear in 1/ε.
     * ``"hpartition"`` — the (2+ε)α* baseline of Theorem 2.1(2).
     * ``"exact"`` — centralized flow witness at ⌈(1+ε)α⌉ (ground truth).
+
+    ``backend`` selects the graph substrate for the ``"hpartition"``
+    method (``"csr"`` kernel vs ``"dict"`` reference); the other
+    methods ignore it.
     """
     counter = ensure_counter(rounds)
     if method == "augmentation":
@@ -92,10 +104,18 @@ def low_outdegree_orientation(
         )
         return orientation, result.colors_used
     if method == "hpartition":
+        if backend not in ("csr", "dict"):
+            raise DecompositionError(f"unknown orientation backend {backend!r}")
         pseudo = exact_pseudoarboricity(graph)
         threshold = max(1, default_threshold(pseudo, epsilon))
-        partition = h_partition(graph, threshold, counter)
-        return acyclic_orientation(graph, partition, counter), threshold
+        snapshot = CSRGraph.from_multigraph(graph) if backend == "csr" else None
+        partition = h_partition(
+            graph, threshold, counter, backend=backend, snapshot=snapshot
+        )
+        orientation = acyclic_orientation(
+            graph, partition, counter, backend=backend, snapshot=snapshot
+        )
+        return orientation, threshold
     if method == "exact":
         from ..nashwilliams.arboricity import exact_arboricity
 

@@ -43,6 +43,20 @@ class PartialListForestDecomposition:
         self._adj: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
         self._leftover: Set[int] = set()
         self._leftover_tail: Dict[int, int] = {}
+        self._snapshot = None  # lazy CSRGraph of the (immutable) host graph
+
+    def csr_snapshot(self):
+        """Flat-array snapshot of the host graph, built once per state.
+
+        The augmentation framework never mutates the host graph (CUT
+        removals live in this object, not the graph), so one snapshot
+        serves every CUT region scan and augmenting search of a run.
+        """
+        if self._snapshot is None:
+            from ..graph.csr import CSRGraph
+
+            self._snapshot = CSRGraph.from_multigraph(self.graph)
+        return self._snapshot
 
     # ------------------------------------------------------------------
     # Introspection

@@ -2,6 +2,11 @@
 decomposition, LLL, and the (4+ε)α*-LSFD of Theorem 2.3."""
 
 from .cole_vishkin import three_color_rooted_forest
+from .degeneracy import (
+    degeneracy_ordering,
+    degeneracy_orientation,
+    theorem22_lsfd,
+)
 from .hpartition import (
     HPartition,
     acyclic_orientation,
@@ -28,6 +33,9 @@ from .network_decomposition import (
 
 __all__ = [
     "three_color_rooted_forest",
+    "degeneracy_ordering",
+    "degeneracy_orientation",
+    "theorem22_lsfd",
     "HPartition",
     "h_partition",
     "default_threshold",

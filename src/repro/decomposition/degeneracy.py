@@ -18,18 +18,57 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import PaletteError
+import numpy as np
+
+from ..errors import GraphError, PaletteError
+from ..graph.csr import CSRGraph
 from ..graph.multigraph import MultiGraph
 
 Palettes = Dict[int, Sequence[int]]
 
 
-def degeneracy_ordering(graph: MultiGraph) -> Tuple[int, List[int]]:
+def degeneracy_ordering(
+    graph: MultiGraph, backend: str = "csr"
+) -> Tuple[int, List[int]]:
     """Exact degeneracy and a peeling order (min-degree first).
 
     Returns ``(d, order)`` where ``order`` lists vertices in removal
     order; every vertex has at most ``d`` neighbors later in the order.
+    The removal rule is: always delete the vertex minimizing
+    ``(remaining degree, vertex id)``, so the order is deterministic.
+
+    ``backend="csr"`` (default) runs the delete-min loop on the
+    flat-array kernel's peeling view; ``backend="dict"`` keeps the
+    original dict-of-sets loop.  Both return identical orders.
     """
+    if backend == "dict":
+        return _degeneracy_ordering_dict(graph)
+    if backend != "csr":
+        raise GraphError(f"unknown degeneracy backend {backend!r}")
+    snapshot = CSRGraph.from_multigraph(graph)
+    degeneracy, order_indices = _peel_order(snapshot)
+    vertex_ids = snapshot.vertex_ids.tolist()
+    return degeneracy, [vertex_ids[i] for i in order_indices]
+
+
+def _peel_order(snapshot: CSRGraph) -> Tuple[int, List[int]]:
+    """Delete-min peeling on the kernel; returns (d, dense-index order)."""
+    view = snapshot.peeling_view()
+    order: List[int] = []
+    degeneracy = 0
+    while True:
+        popped = view.pop_min()
+        if popped is None:
+            break
+        index, deg = popped
+        if deg > degeneracy:
+            degeneracy = deg
+        order.append(index)
+    return degeneracy, order
+
+
+def _degeneracy_ordering_dict(graph: MultiGraph) -> Tuple[int, List[int]]:
+    """Reference dict-backed delete-min loop (pre-kernel implementation)."""
     degree = {v: graph.degree(v) for v in graph.vertices()}
     removed: Set[int] = set()
     heap = [(deg, v) for v, deg in degree.items()]
@@ -50,19 +89,36 @@ def degeneracy_ordering(graph: MultiGraph) -> Tuple[int, List[int]]:
     return degeneracy, order
 
 
-def degeneracy_orientation(graph: MultiGraph) -> Tuple[int, Dict[int, int]]:
+def degeneracy_orientation(
+    graph: MultiGraph, backend: str = "csr"
+) -> Tuple[int, Dict[int, int]]:
     """An acyclic d-orientation witnessing the exact degeneracy.
 
     Each edge is oriented from the endpoint peeled *earlier* (so every
     vertex's out-edges go to vertices still present when it was peeled:
     at most ``d`` of them).
     """
-    degeneracy, order = degeneracy_ordering(graph)
-    position = {v: i for i, v in enumerate(order)}
-    orientation = {
-        eid: (u if position[u] < position[v] else v)
-        for eid, u, v in graph.edges()
-    }
+    if backend == "dict":
+        degeneracy, order = _degeneracy_ordering_dict(graph)
+        position = {v: i for i, v in enumerate(order)}
+        orientation = {
+            eid: (u if position[u] < position[v] else v)
+            for eid, u, v in graph.edges()
+        }
+        return degeneracy, orientation
+    if backend != "csr":
+        raise GraphError(f"unknown degeneracy backend {backend!r}")
+    snapshot = CSRGraph.from_multigraph(graph)
+    degeneracy, order_indices = _peel_order(snapshot)
+    if snapshot.num_edges == 0:
+        return degeneracy, {}
+    position = np.empty(snapshot.num_vertices, dtype=np.int64)
+    position[np.asarray(order_indices, dtype=np.int64)] = np.arange(
+        snapshot.num_vertices, dtype=np.int64
+    )
+    u_first = position[snapshot.edge_u] < position[snapshot.edge_v]
+    tails = np.where(u_first, snapshot.edge_u_ids, snapshot.edge_v_ids)
+    orientation = dict(zip(snapshot.edge_id.tolist(), tails.tolist()))
     return degeneracy, orientation
 
 

@@ -26,6 +26,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PaletteError
+from ..graph.csr import CSRGraph
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
 from .hpartition import (
@@ -70,8 +71,11 @@ def list_star_forest_decomposition(
 
     threshold = max(1, int(math.floor((2.0 + epsilon / 10.0) * pseudoarboricity)))
     with counter.phase("h-partition"):
-        partition = h_partition(graph, threshold, counter)
-        orientation = acyclic_orientation(graph, partition, counter)
+        snapshot = CSRGraph.from_multigraph(graph)
+        partition = h_partition(graph, threshold, counter, snapshot=snapshot)
+        orientation = acyclic_orientation(
+            graph, partition, counter, snapshot=snapshot
+        )
 
     out_by_vertex = out_edges_by_vertex(graph, orientation)
     classes = partition.classes

@@ -1,6 +1,8 @@
-"""Graph substrate: multigraphs, traversal, forests, flow, matching, generators."""
+"""Graph substrate: multigraphs, the flat-array kernel, traversal,
+forests, flow, matching, generators."""
 
 from .multigraph import MultiGraph
+from .csr import CSRGraph, PeelingView, rooted_forest_arrays
 from .union_find import RollbackUnionFind, UnionFind
 from .traversal import (
     bfs_distances,
@@ -27,6 +29,9 @@ from .matching import greedy_matching, hopcroft_karp, maximum_matching_size
 
 __all__ = [
     "MultiGraph",
+    "CSRGraph",
+    "PeelingView",
+    "rooted_forest_arrays",
     "UnionFind",
     "RollbackUnionFind",
     "bfs_distances",

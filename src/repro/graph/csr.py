@@ -1,0 +1,644 @@
+"""Flat-array (CSR) graph kernel for the decomposition hot paths.
+
+Every algorithm in the library is *defined* on :class:`MultiGraph`'s
+dict-of-dicts adjacency, but the procedures that dominate runtime —
+H-partition threshold peeling, degeneracy delete-min, orientation
+sweeps, CUT's region scans, the augmenting search's endpoint lookups —
+only ever need degree queries and neighborhood iteration.  Those map
+onto flat index arrays, which is how this kernel makes them run at
+array speed while the public API keeps accepting ``MultiGraph``.
+
+Snapshot / peeling-view contract
+--------------------------------
+
+:class:`CSRGraph` is an **immutable snapshot** of a ``MultiGraph`` at
+build time:
+
+* Vertices are renumbered to dense indices ``0..n-1`` in insertion
+  order; ``vertex_ids[i]`` recovers the original id and
+  :meth:`index_of` inverts it (both are the identity for the common
+  case of graphs built via ``with_vertices``).
+* ``vertex_offsets`` (length ``n+1``), ``neighbor_ids`` and
+  ``edge_ids`` (length ``2m``) form the CSR adjacency: the half-edges
+  of vertex index ``i`` occupy ``vertex_offsets[i]:vertex_offsets[i+1]``,
+  where ``neighbor_ids`` holds the neighbor *index* and ``edge_ids``
+  the **original edge id** — stable ids survive the conversion, so
+  colorings computed on the snapshot transfer back without
+  translation.  Parallel edges appear once per copy.
+* ``edge_u``/``edge_v`` (endpoint indices) and ``edge_id`` (original
+  ids) list edges by position in ``MultiGraph`` insertion order.
+* Degree lookup is O(1): ``vertex_offsets[i+1] - vertex_offsets[i]``.
+
+The snapshot is only valid while the source graph is unmutated; every
+algorithm in this library treats its input graph as read-only, so one
+snapshot per run (cached e.g. on
+:class:`~repro.core.partial_coloring.PartialListForestDecomposition`)
+is safe.
+
+:class:`PeelingView` layers *mutable* degree bookkeeping over a frozen
+snapshot.  It supports the two deletion disciplines the decomposition
+algorithms need:
+
+* :meth:`PeelingView.peel_leq` — one H-partition wave: remove every
+  live vertex of remaining degree ≤ t simultaneously (vectorized), and
+* :meth:`PeelingView.pop_min` — degeneracy peeling: remove the live
+  vertex minimizing ``(remaining degree, vertex id)``, via a lazy heap.
+
+Both maintain ``remaining degree`` counting parallel edges, exactly
+like the dict-backed loops they replace; results are byte-identical
+(see ``tests/test_kernel_equivalence.py``).  The view never touches the
+snapshot arrays, so many views can share one snapshot.
+
+This kernel is the substrate for future sharding/batching work: a
+shard is a slice of the offset array, and batched degree updates are
+``np.subtract.at`` calls (see ROADMAP "Open items").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from .multigraph import MultiGraph
+
+
+def _concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], ends[i])`` for all i, vectorized."""
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    before = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.repeat(starts - before, lengths) + np.arange(total, dtype=np.int64)
+
+
+class CSRGraph:
+    """Immutable flat-array snapshot of a :class:`MultiGraph`."""
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "vertex_ids",
+        "vertex_offsets",
+        "neighbor_ids",
+        "edge_ids",
+        "edge_u",
+        "edge_v",
+        "edge_id",
+        "edge_u_ids",
+        "edge_v_ids",
+        "_index_of",
+        "_eid_pos",
+        "_endpoint_lists",
+        "_adj_lists",
+        "_vertex_id_list",
+    )
+
+    def __init__(
+        self,
+        vertex_ids: np.ndarray,
+        vertex_offsets: np.ndarray,
+        neighbor_ids: np.ndarray,
+        edge_ids: np.ndarray,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        edge_id: np.ndarray,
+        index_of: Optional[Dict[int, int]],
+        eid_pos: Optional[Dict[int, int]],
+    ) -> None:
+        self.num_vertices = int(vertex_ids.shape[0])
+        self.num_edges = int(edge_id.shape[0])
+        self.vertex_ids = vertex_ids
+        self.vertex_offsets = vertex_offsets
+        self.neighbor_ids = neighbor_ids
+        self.edge_ids = edge_ids
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.edge_id = edge_id
+        self.edge_u_ids = vertex_ids[edge_u] if self.num_edges else edge_u
+        self.edge_v_ids = vertex_ids[edge_v] if self.num_edges else edge_v
+        self._index_of = index_of  # None => identity (ids are 0..n-1)
+        self._eid_pos = eid_pos  # None => identity (ids are 0..m-1)
+        self._endpoint_lists: Optional[Tuple[Sequence, Sequence]] = None
+        self._adj_lists: Optional[Tuple[List[int], List[int]]] = None
+        self._vertex_id_list: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_multigraph(cls, graph: MultiGraph) -> "CSRGraph":
+        """Snapshot ``graph``; O(n + m) with vectorized CSR assembly."""
+        n = graph.n
+        m = graph.m
+        vertex_ids = np.fromiter(graph._adj.keys(), dtype=np.int64, count=n)
+        identity_vertices = bool(
+            n == 0 or np.array_equal(vertex_ids, np.arange(n, dtype=np.int64))
+        )
+        index_of = (
+            None
+            if identity_vertices
+            else {int(v): i for i, v in enumerate(vertex_ids.tolist())}
+        )
+
+        edge_id = np.fromiter(graph._edges.keys(), dtype=np.int64, count=m)
+        endpoints = graph._edges.values()
+        u_raw = np.fromiter((uv[0] for uv in endpoints), dtype=np.int64, count=m)
+        v_raw = np.fromiter((uv[1] for uv in endpoints), dtype=np.int64, count=m)
+        if index_of is None:
+            edge_u, edge_v = u_raw, v_raw
+        else:
+            edge_u = np.fromiter(
+                (index_of[u] for u in u_raw.tolist()), dtype=np.int64, count=m
+            )
+            edge_v = np.fromiter(
+                (index_of[v] for v in v_raw.tolist()), dtype=np.int64, count=m
+            )
+        identity_edges = bool(
+            m == 0 or np.array_equal(edge_id, np.arange(m, dtype=np.int64))
+        )
+        eid_pos = (
+            None
+            if identity_edges
+            else {int(e): pos for pos, e in enumerate(edge_id.tolist())}
+        )
+
+        # Half-edge counting sort: stable argsort keeps, within each
+        # vertex, u-side half-edges (by edge position) before v-side.
+        half_src = np.concatenate((edge_u, edge_v))
+        half_dst = np.concatenate((edge_v, edge_u))
+        half_eid = np.concatenate((edge_id, edge_id))
+        order = np.argsort(half_src, kind="stable")
+        neighbor_ids = half_dst[order]
+        edge_ids = half_eid[order]
+        counts = np.bincount(half_src, minlength=n) if m else np.zeros(n, np.int64)
+        vertex_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=vertex_offsets[1:])
+
+        return cls(
+            vertex_ids,
+            vertex_offsets,
+            neighbor_ids,
+            edge_ids,
+            edge_u,
+            edge_v,
+            edge_id,
+            index_of,
+            eid_pos,
+        )
+
+    # ------------------------------------------------------------------
+    # Vertex-level queries
+    # ------------------------------------------------------------------
+
+    def index_of(self, vertex: int) -> int:
+        """Dense index of an original vertex id."""
+        if self._index_of is None:
+            if 0 <= vertex < self.num_vertices:
+                return vertex
+            raise GraphError(f"vertex {vertex} does not exist")
+        try:
+            return self._index_of[vertex]
+        except KeyError:
+            raise GraphError(f"vertex {vertex} does not exist") from None
+
+    def degree(self, vertex: int) -> int:
+        """Degree of an original vertex id (parallel edges counted); O(1)."""
+        i = self.index_of(vertex)
+        return int(self.vertex_offsets[i + 1] - self.vertex_offsets[i])
+
+    def degrees(self) -> np.ndarray:
+        """Degrees of all vertices, indexed by dense vertex index."""
+        return np.diff(self.vertex_offsets)
+
+    def incident_slice(self, index: int) -> Tuple[int, int]:
+        """Half-edge range ``[start, stop)`` of vertex index ``index``."""
+        return int(self.vertex_offsets[index]), int(self.vertex_offsets[index + 1])
+
+    def endpoints(self, eid: int) -> Tuple[int, int]:
+        """Original ``(u, v)`` vertex ids of edge ``eid``."""
+        pos = eid if self._eid_pos is None else self._eid_pos[eid]
+        return int(self.edge_u_ids[pos]), int(self.edge_v_ids[pos])
+
+    def endpoint_maps(self) -> Tuple[Sequence, Sequence]:
+        """Scalar-fast ``eid -> endpoint id`` lookups ``(u_of, v_of)``.
+
+        Plain Python lists indexed by edge id when edge ids are dense
+        (the common case), dicts otherwise — both support ``obj[eid]``
+        and beat repeated numpy scalar indexing in tight loops.
+        """
+        if self._endpoint_lists is None:
+            u_ids = self.edge_u_ids.tolist()
+            v_ids = self.edge_v_ids.tolist()
+            if self._eid_pos is None:
+                self._endpoint_lists = (u_ids, v_ids)
+            else:
+                eids = self.edge_id.tolist()
+                self._endpoint_lists = (
+                    dict(zip(eids, u_ids)),
+                    dict(zip(eids, v_ids)),
+                )
+        return self._endpoint_lists
+
+    def adjacency_lists(self) -> Tuple[List[int], List[int]]:
+        """``(vertex_offsets, neighbor_ids)`` as cached Python lists.
+
+        Scalar peeling loops (delete-min) index these millions of
+        times; list indexing returns native ints, unlike numpy scalar
+        indexing, which is several times slower in tight loops.
+        """
+        if self._adj_lists is None:
+            self._adj_lists = (
+                self.vertex_offsets.tolist(),
+                self.neighbor_ids.tolist(),
+            )
+        return self._adj_lists
+
+    def vertex_id_list(self) -> List[int]:
+        """``vertex_ids`` as a cached Python list (scalar-loop companion)."""
+        if self._vertex_id_list is None:
+            self._vertex_id_list = self.vertex_ids.tolist()
+        return self._vertex_id_list
+
+    # ------------------------------------------------------------------
+    # Set / mask helpers (the CUT region primitives)
+    # ------------------------------------------------------------------
+
+    def mask_of(self, vertices: Iterable[int]) -> np.ndarray:
+        """Boolean membership mask over dense indices from original ids."""
+        mask = np.zeros(self.num_vertices, dtype=bool)
+        if self._index_of is None:
+            ids = np.fromiter(vertices, dtype=np.int64)
+            if ids.size and (
+                int(ids.min()) < 0 or int(ids.max()) >= self.num_vertices
+            ):
+                bad = ids[(ids < 0) | (ids >= self.num_vertices)][0]
+                raise GraphError(f"vertex {int(bad)} does not exist")
+            mask[ids] = True
+        else:
+            for vertex in vertices:
+                mask[self.index_of(vertex)] = True
+        return mask
+
+    def vertex_set_from_mask(self, mask: np.ndarray) -> Set[int]:
+        """Original vertex ids selected by a dense-index mask."""
+        return set(self.vertex_ids[mask].tolist())
+
+    def neighborhood_mask(
+        self, sources: Iterable[int], radius: Optional[int]
+    ) -> np.ndarray:
+        """``N^r(X)`` as a dense-index mask, via frontier-vectorized BFS."""
+        visited = self.mask_of(sources)
+        frontier = np.flatnonzero(visited)
+        offsets = self.vertex_offsets
+        depth = 0
+        while frontier.size and (radius is None or depth < radius):
+            half = _concat_ranges(offsets[frontier], offsets[frontier + 1])
+            targets = np.unique(self.neighbor_ids[half])
+            targets = targets[~visited[targets]]
+            visited[targets] = True
+            frontier = targets
+            depth += 1
+        return visited
+
+    def neighborhood_set(
+        self, sources: Iterable[int], radius: Optional[int]
+    ) -> Set[int]:
+        """``N^r(X)`` as a set of original vertex ids (drop-in for
+        :func:`repro.graph.traversal.neighborhood`)."""
+        return self.vertex_set_from_mask(self.neighborhood_mask(sources, radius))
+
+    # ------------------------------------------------------------------
+
+    def peeling_view(self) -> "PeelingView":
+        return PeelingView(self)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+
+class PeelingView:
+    """Incremental vertex-deletion bookkeeping over a :class:`CSRGraph`.
+
+    Tracks, per dense vertex index, liveness and remaining degree
+    (counting parallel edges).  ``peel_leq`` serves the H-partition
+    threshold waves; ``pop_min`` serves degeneracy's delete-min.
+
+    The two disciplines want different representations: threshold waves
+    are numpy-vectorized over degree arrays, while delete-min is a
+    scalar loop where plain Python lists beat numpy scalar indexing by
+    a wide margin.  The view therefore starts in *array mode* and
+    switches to *scalar mode* on the first ``pop_min``; both operations
+    stay correct in either mode (a post-switch ``peel_leq`` runs a
+    scalar wave), so the disciplines may be interleaved.
+
+    Delete-min uses a bucket queue — one small min-heap of vertices per
+    remaining degree, with lazy deletion of stale entries — so the
+    frequent operation (a neighbor's degree drops by one) costs an
+    integer push instead of a tuple push into one big heap.
+    """
+
+    __slots__ = (
+        "snapshot",
+        "alive_count",
+        "_alive_arr",
+        "_remaining_arr",
+        "_alive",
+        "_remaining",
+        "_buckets",
+        "_dmin",
+        "_identity",
+    )
+
+    def __init__(self, snapshot: CSRGraph) -> None:
+        self.snapshot = snapshot
+        self.alive_count = snapshot.num_vertices
+        # Array mode state (scalar mode swaps these for Python lists).
+        self._alive_arr: Optional[np.ndarray] = np.ones(
+            snapshot.num_vertices, dtype=bool
+        )
+        self._remaining_arr: Optional[np.ndarray] = snapshot.degrees().astype(
+            np.int64, copy=True
+        )
+        self._alive: Optional[List[bool]] = None
+        self._remaining: Optional[List[int]] = None
+        # Bucket entries are vertex indices (or (vertex id, index) when
+        # original ids differ from indices, to keep the id tie-break).
+        self._identity = snapshot._index_of is None
+        self._buckets: Optional[List[list]] = None
+        self._dmin = 0
+
+    # -- threshold peeling ---------------------------------------------
+
+    def peel_leq(self, threshold: int) -> np.ndarray:
+        """Remove every live vertex of remaining degree ≤ ``threshold``.
+
+        Returns the removed dense indices (ascending).  Neighbors that
+        survive the wave lose one degree per connecting parallel edge —
+        exactly one H-partition wave, fully vectorized in array mode.
+        """
+        if self._alive_arr is None:
+            return self._peel_leq_scalar(threshold)
+        alive = self._alive_arr
+        remaining = self._remaining_arr
+        removed = np.flatnonzero(alive & (remaining <= threshold))
+        if removed.size == 0:
+            return removed
+        alive[removed] = False
+        self.alive_count -= int(removed.size)
+        offsets = self.snapshot.vertex_offsets
+        half = _concat_ranges(offsets[removed], offsets[removed + 1])
+        neighbors = self.snapshot.neighbor_ids[half]
+        neighbors = neighbors[alive[neighbors]]
+        np.subtract.at(remaining, neighbors, 1)
+        return removed
+
+    def _peel_leq_scalar(self, threshold: int) -> np.ndarray:
+        """Scalar-mode wave (after ``pop_min`` switched representations)."""
+        alive = self._alive
+        remaining = self._remaining
+        removed = [
+            i for i in range(self.snapshot.num_vertices)
+            if alive[i] and remaining[i] <= threshold
+        ]
+        if not removed:
+            return np.empty(0, dtype=np.int64)
+        for i in removed:
+            alive[i] = False
+        self.alive_count -= len(removed)
+        offsets, neighbors = self.snapshot.adjacency_lists()
+        vertex_ids = self.snapshot.vertex_id_list()
+        buckets = self._buckets
+        for i in removed:
+            for half in range(offsets[i], offsets[i + 1]):
+                j = neighbors[half]
+                if alive[j]:
+                    degree = remaining[j] - 1
+                    remaining[j] = degree
+                    entry = j if self._identity else (vertex_ids[j], j)
+                    heapq.heappush(buckets[degree], entry)
+                    if degree < self._dmin:
+                        self._dmin = degree
+        return np.asarray(removed, dtype=np.int64)
+
+    # -- delete-min peeling --------------------------------------------
+
+    def pop_min(self) -> Optional[Tuple[int, int]]:
+        """Remove the live vertex minimizing ``(remaining degree, id)``.
+
+        Returns ``(dense index, degree at removal)``, or None when no
+        vertex is left.  Ties break on original vertex id, matching the
+        dict-backed heap implementation entry for entry.  The heap
+        tolerates stale entries because degrees only ever decrease.
+        """
+        if self._buckets is None:
+            self._enter_scalar_mode()
+        buckets = self._buckets
+        alive = self._alive
+        remaining = self._remaining
+        offsets, neighbors = self.snapshot.adjacency_lists()
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        num_buckets = len(buckets)
+        identity = self._identity
+
+        # Find the live vertex minimizing (degree, id): advance past
+        # empty buckets, discard stale entries (dead vertex or degree
+        # changed since the entry was pushed).
+        deg = self._dmin
+        while True:
+            while deg < num_buckets and not buckets[deg]:
+                deg += 1
+            if deg >= num_buckets:
+                self._dmin = deg
+                return None
+            entry = heappop(buckets[deg])
+            index = entry if identity else entry[1]
+            if alive[index] and remaining[index] == deg:
+                break
+
+        alive[index] = False
+        self.alive_count -= 1
+        if identity:
+            for half in range(offsets[index], offsets[index + 1]):
+                j = neighbors[half]
+                if alive[j]:
+                    degree = remaining[j] - 1
+                    remaining[j] = degree
+                    heappush(buckets[degree], j)
+                    if degree < deg:
+                        deg = degree
+        else:
+            vertex_ids = self.snapshot.vertex_id_list()
+            for half in range(offsets[index], offsets[index + 1]):
+                j = neighbors[half]
+                if alive[j]:
+                    degree = remaining[j] - 1
+                    remaining[j] = degree
+                    heappush(buckets[degree], (vertex_ids[j], j))
+                    if degree < deg:
+                        deg = degree
+        self._dmin = deg
+        return index, remaining[index]
+
+    def _enter_scalar_mode(self) -> None:
+        self._alive = self._alive_arr.tolist()
+        self._remaining = self._remaining_arr.tolist()
+        self._alive_arr = None
+        self._remaining_arr = None
+        max_degree = max(self._remaining, default=0)
+        buckets: List[list] = [[] for _ in range(max_degree + 1)]
+        if self._identity:
+            # Indices are appended in ascending order, so each bucket
+            # is already a valid min-heap.
+            for i, degree in enumerate(self._remaining):
+                if self._alive[i]:
+                    buckets[degree].append(i)
+        else:
+            vertex_ids = self.snapshot.vertex_id_list()
+            for i, degree in enumerate(self._remaining):
+                if self._alive[i]:
+                    buckets[degree].append((vertex_ids[i], i))
+            for bucket in buckets:
+                heapq.heapify(bucket)
+        self._buckets = buckets
+        self._dmin = 0
+
+    # -- introspection --------------------------------------------------
+
+    def is_alive(self, index: int) -> bool:
+        alive = self._alive_arr if self._alive_arr is not None else self._alive
+        return bool(alive[index])
+
+    def remaining_degree(self, index: int) -> int:
+        remaining = (
+            self._remaining_arr if self._remaining_arr is not None else self._remaining
+        )
+        return int(remaining[index])
+
+
+# ----------------------------------------------------------------------
+# Forest rooting on the kernel
+# ----------------------------------------------------------------------
+
+
+class ForestArrays:
+    """Array form of a rooted forest: per dense vertex index, BFS depth
+    (-1 when unspanned) and parent edge id (-1 for roots/unspanned)."""
+
+    __slots__ = ("snapshot", "depth", "parent_eid", "roots", "max_depth")
+
+    def __init__(
+        self,
+        snapshot: CSRGraph,
+        depth: np.ndarray,
+        parent_eid: np.ndarray,
+        roots: List[int],
+    ) -> None:
+        self.snapshot = snapshot
+        self.depth = depth
+        self.parent_eid = parent_eid
+        self.roots = roots
+        # Clamp at 0: an edgeless forest has depth -1 everywhere but,
+        # like RootedForest.max_depth(), reports depth 0.
+        self.max_depth = max(0, int(depth.max())) if depth.size else 0
+
+
+def rooted_forest_arrays(
+    snapshot: CSRGraph,
+    eids: Sequence[int],
+    preferred_roots: Optional[Iterable[int]] = None,
+) -> ForestArrays:
+    """Root the forest formed by ``eids``, entirely on flat arrays.
+
+    Root selection matches :class:`repro.graph.forests.RootedForest`:
+    each tree is rooted at its smallest preferred vertex if any member
+    of ``preferred_roots`` is present, else at its minimum vertex id.
+    Raises :class:`GraphError` when the edges contain a cycle.
+
+    A union-find pass validates acyclicity and groups components; one
+    multi-source frontier-vectorized BFS then assigns depths and parent
+    edges (unique in a forest, so no tie-breaking is needed).
+    """
+    n = snapshot.num_vertices
+    depth = np.full(n, -1, dtype=np.int64)
+    parent_eid = np.full(n, -1, dtype=np.int64)
+    eid_list = list(eids)
+    if not eid_list:
+        return ForestArrays(snapshot, depth, parent_eid, [])
+
+    if snapshot._eid_pos is None:
+        positions = np.asarray(eid_list, dtype=np.int64)
+    else:
+        pos_of = snapshot._eid_pos
+        positions = np.fromiter(
+            (pos_of[e] for e in eid_list), dtype=np.int64, count=len(eid_list)
+        )
+    sub_u = snapshot.edge_u[positions]
+    sub_v = snapshot.edge_v[positions]
+    sub_eid = snapshot.edge_id[positions]
+
+    # Union-find: validate forest, group components.
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for a, b in zip(sub_u.tolist(), sub_v.tolist()):
+        if a not in parent:
+            parent[a] = a
+        if b not in parent:
+            parent[b] = b
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            raise GraphError("edge set is not a forest")
+        parent[rb] = ra
+
+    vertex_ids = snapshot.vertex_ids
+    preferred = set(preferred_roots) if preferred_roots is not None else set()
+    best: Dict[int, Tuple[int, int]] = {}  # component rep -> (best key, index)
+    for index in parent:
+        rep = find(index)
+        vid = int(vertex_ids[index])
+        key = (0, vid) if vid in preferred else (1, vid)
+        if rep not in best or key < best[rep][0]:
+            best[rep] = (key, index)
+    roots = [index for _key, index in best.values()]
+
+    # Sub-CSR over the forest edges, then one multi-source BFS.
+    half_src = np.concatenate((sub_u, sub_v))
+    half_dst = np.concatenate((sub_v, sub_u))
+    half_eid = np.concatenate((sub_eid, sub_eid))
+    order = np.argsort(half_src, kind="stable")
+    sorted_src = half_src[order]
+    sub_nbr = half_dst[order]
+    sub_edge = half_eid[order]
+    counts = np.bincount(sorted_src, minlength=n)
+    sub_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=sub_offsets[1:])
+
+    frontier = np.asarray(sorted(roots), dtype=np.int64)
+    depth[frontier] = 0
+    level = 0
+    while frontier.size:
+        level += 1
+        half = _concat_ranges(sub_offsets[frontier], sub_offsets[frontier + 1])
+        targets = sub_nbr[half]
+        via = sub_edge[half]
+        fresh = depth[targets] < 0
+        targets = targets[fresh]
+        via = via[fresh]
+        depth[targets] = level
+        parent_eid[targets] = via
+        frontier = targets
+
+    return ForestArrays(snapshot, depth, parent_eid, sorted(roots))

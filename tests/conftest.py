@@ -1,0 +1,31 @@
+"""Shared pytest wiring: the ``slow`` marker and the golden ``--regen`` flag.
+
+The quick development loop is ``pytest -m "not slow"`` (see Makefile's
+``test-fast``); the full suite — including the two multi-minute example
+sweeps — remains the tier-1 gate.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json from the current implementation "
+        "instead of comparing against the frozen values",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running case; deselect with -m \"not slow\" for the quick loop",
+    )
+
+
+@pytest.fixture
+def regen(request):
+    """True when the run should rewrite the golden files."""
+    return request.config.getoption("--regen")

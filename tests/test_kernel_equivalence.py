@@ -1,0 +1,219 @@
+"""Property-based equivalence: flat-array kernel vs. dict-backed graph.
+
+For ~200 seeded random multigraphs — varying vertex count, density,
+parallel-edge rate, vertex-id gaps, and deleted edges (non-contiguous
+edge ids) — assert that
+
+* the :class:`CSRGraph` snapshot agrees with :class:`MultiGraph` on
+  degrees, neighbor multisets, edge ids and endpoints;
+* the ported algorithms (``h_partition``, ``degeneracy_ordering``,
+  ``degeneracy_orientation``, ``acyclic_orientation``,
+  ``low_outdegree_orientation``) return results identical to the
+  dict-backed reference implementations, including charged rounds;
+* :func:`rooted_forest_arrays` reproduces :class:`RootedForest`'s
+  rooting (depths, parent edges, root choice) on forest subsets.
+
+Instances are derived deterministically from the parametrized seed, so
+a failure always reproduces.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, MultiGraph, RootedForest, rooted_forest_arrays
+from repro.core.orientation import low_outdegree_orientation
+from repro.decomposition.degeneracy import (
+    degeneracy_ordering,
+    degeneracy_orientation,
+)
+from repro.decomposition.hpartition import acyclic_orientation, h_partition
+from repro.local import RoundCounter
+
+SEEDS = range(200)
+
+
+def random_multigraph(seed: int) -> MultiGraph:
+    """A seeded random multigraph exercising every snapshot code path."""
+    rng = random.Random(seed * 7919 + 13)
+    n = rng.randint(2, 16) if seed % 3 == 0 else rng.randint(2, 80)
+    graph = MultiGraph()
+    if seed % 5 == 3:
+        # Non-contiguous vertex ids: the snapshot must renumber.
+        ids = sorted(rng.sample(range(3 * n + 2), n))
+        rng.shuffle(ids)
+        for vertex in ids:
+            graph.add_vertex(vertex)
+    else:
+        for _ in range(n):
+            graph.add_vertex()
+    vertices = graph.vertices()
+    density = rng.uniform(0.3, 3.5)
+    parallel_rate = rng.choice((0.0, 0.1, 0.5))
+    pairs = []
+    for _ in range(int(n * density)):
+        if pairs and rng.random() < parallel_rate:
+            u, v = rng.choice(pairs)  # parallel copy of an existing pair
+        else:
+            u, v = rng.sample(vertices, 2)
+        pairs.append((u, v))
+        graph.add_edge(u, v)
+    if graph.m and seed % 4 == 1:
+        # Deleted edges: the snapshot must handle id gaps.
+        for eid in rng.sample(graph.edge_ids(), max(1, graph.m // 5)):
+            graph.remove_edge(eid)
+    return graph
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_snapshot_matches_multigraph(seed):
+    graph = random_multigraph(seed)
+    snap = CSRGraph.from_multigraph(graph)
+
+    assert snap.num_vertices == graph.n
+    assert snap.num_edges == graph.m
+    assert set(snap.edge_id.tolist()) == set(graph.edge_ids())
+
+    for vertex in graph.vertices():
+        index = snap.index_of(vertex)
+        assert int(snap.vertex_ids[index]) == vertex
+        assert snap.degree(vertex) == graph.degree(vertex)
+        start, stop = snap.incident_slice(index)
+        mine = sorted(
+            (int(eid), int(snap.vertex_ids[int(j)]))
+            for eid, j in zip(snap.edge_ids[start:stop], snap.neighbor_ids[start:stop])
+        )
+        assert mine == sorted(graph.incident(vertex))
+
+    for eid in graph.edge_ids():
+        assert snap.endpoints(eid) == graph.endpoints(eid)
+
+    u_of, v_of = snap.endpoint_maps()
+    for eid in graph.edge_ids():
+        assert (u_of[eid], v_of[eid]) == graph.endpoints(eid)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ported_algorithms_match_reference(seed):
+    graph = random_multigraph(seed)
+
+    ref_d, ref_order = degeneracy_ordering(graph, backend="dict")
+    csr_d, csr_order = degeneracy_ordering(graph, backend="csr")
+    assert (csr_d, csr_order) == (ref_d, ref_order)
+
+    ref_pair = degeneracy_orientation(graph, backend="dict")
+    csr_pair = degeneracy_orientation(graph, backend="csr")
+    assert csr_pair == ref_pair
+
+    # Peeling with threshold >= degeneracy can never stall.
+    threshold = max(1, ref_d)
+    ref_rounds, csr_rounds = RoundCounter(), RoundCounter()
+    ref_partition = h_partition(graph, threshold, ref_rounds, backend="dict")
+    csr_partition = h_partition(graph, threshold, csr_rounds, backend="csr")
+    assert csr_partition.classes == ref_partition.classes
+    assert csr_partition.threshold == ref_partition.threshold
+    assert csr_rounds.total == ref_rounds.total
+
+    ref_orient = acyclic_orientation(graph, ref_partition, backend="dict")
+    csr_orient = acyclic_orientation(graph, csr_partition, backend="csr")
+    assert csr_orient == ref_orient
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 10))
+def test_low_outdegree_orientation_matches_reference(seed):
+    graph = random_multigraph(seed)
+    if graph.m == 0:
+        pytest.skip("empty instance")
+    ref = low_outdegree_orientation(graph, 0.5, method="hpartition", backend="dict")
+    csr = low_outdegree_orientation(graph, 0.5, method="hpartition", backend="csr")
+    assert csr == ref
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 5))
+def test_rooted_forest_arrays_match_rooted_forest(seed):
+    graph = random_multigraph(seed)
+    snap = CSRGraph.from_multigraph(graph)
+
+    # A spanning-forest subset via union-find-free greedy: add edges
+    # that RootedForest accepts (it validates acyclicity itself).
+    rng = random.Random(seed)
+    eids = []
+    for eid in graph.edge_ids():
+        if rng.random() < 0.7:
+            eids.append(eid)
+    # Drop edges until acyclic.
+    while True:
+        try:
+            reference = RootedForest(graph, eids)
+            break
+        except GraphError:
+            eids.pop(rng.randrange(len(eids)))
+
+    arrays = rooted_forest_arrays(snap, eids)
+    assert arrays.max_depth == reference.max_depth()
+    assert sorted(int(snap.vertex_ids[i]) for i in arrays.roots) == sorted(
+        reference.roots
+    )
+    for vertex, eid in reference.parent_edge.items():
+        index = snap.index_of(vertex)
+        expected = -1 if eid is None else eid
+        assert int(arrays.parent_eid[index]) == expected
+        assert int(arrays.depth[index]) == reference.depth[vertex]
+
+    # Preferred roots change the rooting exactly like RootedForest.
+    preferred = set(rng.sample(graph.vertices(), max(1, graph.n // 3)))
+    reference_pref = RootedForest(graph, eids, roots=preferred)
+    arrays_pref = rooted_forest_arrays(snap, eids, preferred_roots=preferred)
+    assert sorted(int(snap.vertex_ids[i]) for i in arrays_pref.roots) == sorted(
+        reference_pref.roots
+    )
+    for vertex in reference_pref.depth:
+        index = snap.index_of(vertex)
+        assert int(arrays_pref.depth[index]) == reference_pref.depth[vertex]
+
+
+def test_mask_of_rejects_unknown_vertices():
+    graph = MultiGraph.from_edges(4, [(0, 1), (2, 3)])
+    snap = CSRGraph.from_multigraph(graph)
+    with pytest.raises(GraphError):
+        snap.mask_of({-1})  # must not wrap around via negative indexing
+    with pytest.raises(GraphError):
+        snap.mask_of({7})
+
+
+def test_rooted_forest_arrays_empty_edge_set():
+    graph = MultiGraph.with_vertices(3)
+    snap = CSRGraph.from_multigraph(graph)
+    arrays = rooted_forest_arrays(snap, [])
+    assert arrays.max_depth == 0  # matches RootedForest.max_depth()
+    assert arrays.roots == []
+
+
+def test_low_outdegree_orientation_rejects_unknown_backend():
+    from repro.errors import DecompositionError
+
+    graph = MultiGraph.from_edges(3, [(0, 1), (1, 2)])
+    with pytest.raises(DecompositionError):
+        low_outdegree_orientation(graph, 0.5, method="hpartition", backend="dcit")
+
+
+def test_rooted_forest_arrays_rejects_cycles():
+    graph = MultiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    snap = CSRGraph.from_multigraph(graph)
+    with pytest.raises(GraphError):
+        rooted_forest_arrays(snap, graph.edge_ids())
+
+
+def test_peeling_view_interleaves_disciplines():
+    """pop_min after peel_leq sees the updated degrees (shared state)."""
+    graph = MultiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (2, 4)])
+    snap = CSRGraph.from_multigraph(graph)
+    view = snap.peeling_view()
+    removed = view.peel_leq(1)  # vertices 0 and... only degree-1 vertices: 0
+    assert [int(i) for i in removed] == [0]
+    index, deg = view.pop_min()  # vertex 1 now has remaining degree 1
+    assert (int(snap.vertex_ids[index]), deg) == (1, 1)
+    rest = view.peel_leq(5)
+    assert view.alive_count == 0
+    assert sorted(int(snap.vertex_ids[i]) for i in rest) == [2, 3, 4]
