@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: test test-fast bench-kernel golden-regen
+.PHONY: test test-fast lint bench-kernel bench-json golden-regen
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -14,9 +14,19 @@ test:
 test-fast:
 	python -m pytest -x -q -m "not slow"
 
-# Dict vs flat-array kernel on the peeling hot paths (asserts >= 2x at n >= 2000).
+# Compile check everywhere + pyflakes when available (tools/lint.py).
+lint:
+	python tools/lint.py
+
+# Dict vs flat-array kernel on the peeling + traversal hot paths
+# (asserts >= 2x at n >= 2000; writes benchmarks/results/BENCH_*.json).
 bench-kernel:
 	python benchmarks/bench_kernel.py
+
+# Timing-snapshot mode: same benches and JSON artifacts, no hard
+# speedup asserts — what the CI perf-smoke job runs on shared runners.
+bench-json:
+	BENCH_SNAPSHOT=1 python benchmarks/bench_kernel.py
 
 # Re-freeze tests/golden/*.json after an intentional output change.
 golden-regen:

@@ -1,28 +1,50 @@
 """Flat-array kernel vs. dict-backed graph on the decomposition hot paths.
 
-Measures ``h_partition`` (threshold peeling) and ``degeneracy_ordering``
-(delete-min peeling) under both backends on the generator suite, at
-sizes where the kernel matters (n >= 2000).  Asserts the kernel's
-claim: at n >= 2000 the combined hot-path time improves by >= 2x, with
-identical outputs (checked here on every row; exhaustively in
-``tests/test_kernel_equivalence.py``).
+Two sections, one per substrate port:
+
+* ``bench_kernel`` — the PR-1 peeling paths: ``h_partition`` (threshold
+  peeling) and ``degeneracy_ordering`` (delete-min peeling).
+* ``bench_traversal`` — the PR-2 traversal/network-decomposition paths:
+  ``power_graph`` (the former bottleneck), multi-source
+  ``bfs_distances``, ``connected_components``, the ball-carving
+  ``network_decomposition`` consuming the power graph, and the MPX
+  ``partial_network_decomposition`` sweep.
+
+Both sections check dict/csr output equality on every workload, assert
+the kernel's reason to exist (>= 2x at n >= 2000; skipped when
+``BENCH_SNAPSHOT=1`` — shared CI runners time too noisily to gate on),
+and archive machine-readable ``BENCH_*.json`` next to the text tables
+(schema: benchmarks/README.md).
 
 Run directly:  PYTHONPATH=src python benchmarks/bench_kernel.py
+Snapshot mode: BENCH_SNAPSHOT=1 PYTHONPATH=src python benchmarks/bench_kernel.py
 """
 
 import time
 
 from repro.decomposition.degeneracy import degeneracy_ordering
 from repro.decomposition.hpartition import h_partition
+from repro.decomposition.network_decomposition import (
+    network_decomposition,
+    partial_network_decomposition,
+)
+from repro.graph.csr import snapshot_of
 from repro.graph.generators import (
     erdos_renyi,
     preferential_attachment,
     union_of_random_forests,
 )
+from repro.graph.traversal import (
+    bfs_distances,
+    connected_components,
+    power_graph,
+)
 
-from harness import emit, format_table
+from harness import SNAPSHOT_MODE, emit, emit_json, format_table
 
 REPEATS = 5
+TRAVERSAL_REPEATS = 3
+SPEEDUP_FLOOR = 2.0
 
 WORKLOADS = [
     ("forests n=500 a=4", False, lambda: union_of_random_forests(500, 4, seed=11)),
@@ -32,10 +54,19 @@ WORKLOADS = [
     ("pref n=3000 d=5", True, lambda: preferential_attachment(3000, 5, seed=15)),
 ]
 
+# Traversal workloads sit at the n >= 2000 scale the tentpole targets;
+# the power radius keeps the dict reference path finishable while still
+# producing the dense ``G^r`` the network decomposition consumes.
+TRAVERSAL_WORKLOADS = [
+    ("er n=2000 p=.003 r=3", True, 3, lambda: erdos_renyi(2000, 0.003, seed=21)),
+    ("forests n=2000 a=4 r=2", True, 2, lambda: union_of_random_forests(2000, 4, seed=22)),
+    ("pref n=2500 d=4 r=2", True, 2, lambda: preferential_attachment(2500, 4, seed=23)),
+]
 
-def _best(func):
+
+def _best(func, repeats=REPEATS):
     times = []
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         start = time.perf_counter()
         func()
         times.append(time.perf_counter() - start)
@@ -44,6 +75,7 @@ def _best(func):
 
 def run_kernel_comparison():
     rows = []
+    json_rows = []
     asserted = []
     for name, assertable, make in WORKLOADS:
         graph = make()
@@ -76,6 +108,21 @@ def run_kernel_comparison():
                 f"{combined:.2f}x",
             )
         )
+        for op, t_dict, t_csr in (
+            ("h_partition", hp_dict, hp_csr),
+            ("degeneracy_ordering", dg_dict, dg_csr),
+        ):
+            json_rows.append(
+                {
+                    "workload": name,
+                    "n": graph.n,
+                    "m": graph.m,
+                    "op": op,
+                    "dict_ms": round(t_dict * 1e3, 3),
+                    "csr_ms": round(t_csr * 1e3, 3),
+                    "speedup": round(t_dict / t_csr, 3),
+                }
+            )
         if assertable:
             asserted.append((name, combined))
 
@@ -98,12 +145,166 @@ def run_kernel_comparison():
             rows,
         ),
     )
+    emit_json(
+        "BENCH_kernel",
+        {
+            "bench": "kernel",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": SPEEDUP_FLOOR,
+            "rows": json_rows,
+            "asserted": [
+                {"workload": name, "combined_speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
 
-    for name, combined in asserted:
-        assert combined >= 2.0, (
-            f"{name}: combined hot-path speedup {combined:.2f}x < 2x — "
-            "the kernel's reason to exist"
+    if not SNAPSHOT_MODE:
+        for name, combined in asserted:
+            assert combined >= SPEEDUP_FLOOR, (
+                f"{name}: combined hot-path speedup {combined:.2f}x < "
+                f"{SPEEDUP_FLOOR}x — the kernel's reason to exist"
+            )
+    return rows
+
+
+def _check_traversal_equivalence(graph, sources):
+    """dict/csr output equality for one workload (cheap ops only; the
+    exhaustive sweep lives in tests/test_kernel_equivalence.py)."""
+    assert bfs_distances(graph, sources, backend="csr") == bfs_distances(
+        graph, sources, backend="dict"
+    )
+    assert connected_components(graph, backend="csr") == connected_components(
+        graph, backend="dict"
+    )
+    heads_dict = partial_network_decomposition(graph, 0.3, seed=7, backend="dict")
+    heads_csr = partial_network_decomposition(graph, 0.3, seed=7, backend="csr")
+    assert heads_dict == heads_csr
+
+
+def run_traversal_comparison():
+    rows = []
+    json_rows = []
+    asserted = []
+    for name, assertable, radius, make in TRAVERSAL_WORKLOADS:
+        graph = make()
+        snapshot = snapshot_of(graph)
+        sources = graph.vertices()[:4]
+        _check_traversal_equivalence(graph, sources)
+
+        power_dict = _best(
+            lambda: power_graph(graph, radius, backend="dict"), TRAVERSAL_REPEATS
         )
+        power_csr = _best(
+            lambda: snapshot.power_csr(radius), TRAVERSAL_REPEATS
+        )
+        bfs_dict = _best(
+            lambda: bfs_distances(graph, sources, backend="dict"),
+            TRAVERSAL_REPEATS,
+        )
+        bfs_csr = _best(
+            lambda: bfs_distances(snapshot, sources, backend="csr"),
+            TRAVERSAL_REPEATS,
+        )
+        cc_dict = _best(
+            lambda: connected_components(graph, backend="dict"),
+            TRAVERSAL_REPEATS,
+        )
+        cc_csr = _best(
+            lambda: connected_components(snapshot, backend="csr"),
+            TRAVERSAL_REPEATS,
+        )
+        # Ball carving consumes the power graph, each on its substrate.
+        power_ref = power_graph(graph, radius, backend="dict")
+        power_snap = snapshot.power_csr(radius)
+        assert (
+            network_decomposition(power_ref, backend="dict").classes
+            == network_decomposition(power_snap, backend="csr").classes
+        )
+        nd_dict = _best(
+            lambda: network_decomposition(power_ref, backend="dict"),
+            TRAVERSAL_REPEATS,
+        )
+        nd_csr = _best(
+            lambda: network_decomposition(power_snap, backend="csr"),
+            TRAVERSAL_REPEATS,
+        )
+        mpx_dict = _best(
+            lambda: partial_network_decomposition(graph, 0.3, seed=7, backend="dict"),
+            TRAVERSAL_REPEATS,
+        )
+        mpx_csr = _best(
+            lambda: partial_network_decomposition(snapshot, 0.3, seed=7, backend="csr"),
+            TRAVERSAL_REPEATS,
+        )
+
+        ops = [
+            (f"power_graph[r={radius}]", power_dict, power_csr),
+            ("bfs_distances", bfs_dict, bfs_csr),
+            ("connected_components", cc_dict, cc_csr),
+            ("network_decomposition[power]", nd_dict, nd_csr),
+            ("partial_network_decomposition", mpx_dict, mpx_csr),
+        ]
+        total_dict = sum(t for _op, t, _c in ops)
+        total_csr = sum(c for _op, _t, c in ops)
+        combined = total_dict / total_csr
+        for op, t_dict, t_csr in ops:
+            rows.append(
+                (
+                    name,
+                    graph.n,
+                    graph.m,
+                    op,
+                    f"{t_dict * 1e3:.1f}",
+                    f"{t_csr * 1e3:.1f}",
+                    f"{t_dict / t_csr:.1f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": name,
+                    "n": graph.n,
+                    "m": graph.m,
+                    "op": op,
+                    "dict_ms": round(t_dict * 1e3, 3),
+                    "csr_ms": round(t_csr * 1e3, 3),
+                    "speedup": round(t_dict / t_csr, 3),
+                }
+            )
+        rows.append((name, graph.n, graph.m, "COMBINED", "", "", f"{combined:.2f}x"))
+        if assertable:
+            asserted.append((name, combined))
+
+    emit(
+        "traversal",
+        format_table(
+            "CSR traversal + network decomposition vs dict backend",
+            ["workload", "n", "m", "op", "dict ms", "csr ms", "speedup"],
+            rows,
+        ),
+    )
+    emit_json(
+        "BENCH_traversal",
+        {
+            "bench": "traversal",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": SPEEDUP_FLOOR,
+            "rows": json_rows,
+            "asserted": [
+                {"workload": name, "combined_speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
+
+    if not SNAPSHOT_MODE:
+        for name, combined in asserted:
+            assert combined >= SPEEDUP_FLOOR, (
+                f"{name}: combined traversal speedup {combined:.2f}x < "
+                f"{SPEEDUP_FLOOR}x at n >= 2000 — the port's reason to exist"
+            )
     return rows
 
 
@@ -116,5 +317,15 @@ def bench_kernel(benchmark=None):
         once(benchmark, run_kernel_comparison)
 
 
+def bench_traversal(benchmark=None):
+    if benchmark is None:
+        run_traversal_comparison()
+    else:
+        from harness import once
+
+        once(benchmark, run_traversal_comparison)
+
+
 if __name__ == "__main__":
     bench_kernel()
+    bench_traversal()

@@ -9,10 +9,16 @@ artifacts.  Timing itself is delegated to pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Timing-snapshot mode: record timings and emit JSON, but skip hard
+# speedup asserts (shared CI runners have noisy clocks).  See
+# benchmarks/README.md for the consumer contract.
+SNAPSHOT_MODE = os.environ.get("BENCH_SNAPSHOT", "") not in ("", "0")
 
 
 def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -38,6 +44,21 @@ def emit(name: str, text: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Archive a machine-readable result under benchmarks/results/.
+
+    ``name`` becomes ``benchmarks/results/<name>.json``; CI uploads
+    every ``BENCH_*.json`` as a build artifact so the perf trajectory
+    is trackable PR-over-PR (schema: benchmarks/README.md).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def forest_workload(n: int, alpha: int, seed: int, simple: bool = False):

@@ -1,11 +1,24 @@
 """Setup shim for legacy editable installs (offline environment lacks the
 ``wheel`` package, so PEP 517 editable builds are unavailable).  This file
-is the only packaging metadata the repo carries."""
+carries the packaging metadata; CI installs the test toolchain from the
+``[test]`` extra so the workflow has a single dependency source."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
 setup(
+    name="nashwilliams-locality-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'On the Locality of Nash-Williams Forest "
+        "Decomposition and Star-Forest Decomposition' (PODC 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
     # The flat-array graph kernel (repro.graph.csr) made numpy the
     # library's one third-party dependency.
     install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+    },
 )

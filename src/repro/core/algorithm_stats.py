@@ -13,6 +13,7 @@ class ListForestStats:
         self.k1 = 0  # smallest reserve-side palette after splitting
         self.leftover_size = 0
         self.algorithm2 = None  # Algorithm2Stats of the inner run
+        self.reserve_retries = 0  # Las Vegas re-runs after an empty reserve
 
 
 class StarForestStats:

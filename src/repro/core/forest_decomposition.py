@@ -173,7 +173,15 @@ def algorithm2(
     )
 
     with counter.phase("network decomposition"):
-        power = power_graph(graph, max(1, min(2 * d, 2 * n)))
+        # The run's CSR snapshot feeds the power graph directly: the
+        # radius-bounded frontier sweeps assemble G^{2(R+R')} as a CSR
+        # snapshot without ever materializing a dict multigraph, and the
+        # ball carving consumes it on the same arrays.  Clusters are
+        # identical to the dict reference path (kernel-equivalence
+        # suite + golden regression certify this).
+        power = power_graph(
+            state.csr_snapshot(), max(1, min(2 * d, 2 * n)), backend="csr"
+        )
         nd = network_decomposition(power, counter, radius_cost=2 * d)
 
     log_n = max(1, math.ceil(math.log2(n + 1)))

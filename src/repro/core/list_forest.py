@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import DecompositionError
+from ..errors import DecompositionError, ReservePaletteError
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
 from ..nashwilliams.arboricity import exact_arboricity
@@ -81,52 +81,66 @@ def list_forest_decomposition(
     if alpha is None:
         alpha = exact_arboricity(graph)
 
-    with counter.phase("color splitting"):
-        split = _make_splitting(
-            graph, palettes, epsilon, splitting, reserve_probability, rng, counter
-        )
-    stats.k0 = split.k0
-    stats.k1 = split.k1
-
     # The paper splits ε very conservatively (ε/1000) so the reserve
     # palettes dominate the leftover's pseudo-arboricity; ε/10 keeps the
     # same inequality direction at practical scales (PaletteError makes
     # any violation loud rather than silent).
     eps_prime = epsilon / 10.0
-    with counter.phase("algorithm2"):
-        result = algorithm2(
-            graph,
-            split.palettes_0,
-            eps_prime,
-            alpha,
-            cut_rule=cut_rule,
-            radius=radius,
-            search_radius=search_radius,
-            seed=child_rng(rng, "alg2"),
-            rounds=counter,
-        )
-    coloring_0 = dict(result.colored)
-    leftover = set(result.leftover)
-    stats.algorithm2 = result.stats
 
-    with counter.phase("diameter reduction"):
-        reduction = reduce_diameter(
-            graph,
-            coloring_0,
-            eps_prime,
-            alpha,
-            mode="auto",
-            seed=child_rng(rng, "diam"),
-            rounds=counter,
-        )
-    coloring_0 = dict(reduction.kept)
-    leftover.update(reduction.deleted)
-    stats.leftover_size = len(leftover)
+    # Theorem 4.9 guarantees nonempty reserve palettes for the leftover
+    # only w.h.p.; a fresh draw from the parent stream converts that to
+    # Las Vegas.  The first attempt consumes the stream exactly like a
+    # retry-free run, so seeds reproduce their historical outputs.
+    max_attempts = 5
+    for attempt in range(max_attempts):
+        with counter.phase("color splitting"):
+            split = _make_splitting(
+                graph, palettes, epsilon, splitting, reserve_probability, rng, counter
+            )
+        stats.k0 = split.k0
+        stats.k1 = split.k1
 
-    with counter.phase("reserve LSFD"):
-        coloring_1 = _reserve_lsfd(
-            graph, sorted(leftover), split.palettes_1, counter
-        )
+        with counter.phase("algorithm2"):
+            result = algorithm2(
+                graph,
+                split.palettes_0,
+                eps_prime,
+                alpha,
+                cut_rule=cut_rule,
+                radius=radius,
+                search_radius=search_radius,
+                seed=child_rng(rng, "alg2"),
+                rounds=counter,
+            )
+        coloring_0 = dict(result.colored)
+        leftover = set(result.leftover)
+        stats.algorithm2 = result.stats
+
+        with counter.phase("diameter reduction"):
+            reduction = reduce_diameter(
+                graph,
+                coloring_0,
+                eps_prime,
+                alpha,
+                mode="auto",
+                seed=child_rng(rng, "diam"),
+                rounds=counter,
+            )
+        coloring_0 = dict(reduction.kept)
+        leftover.update(reduction.deleted)
+        stats.leftover_size = len(leftover)
+
+        try:
+            with counter.phase("reserve LSFD"):
+                coloring_1 = _reserve_lsfd(
+                    graph, sorted(leftover), split.palettes_1, counter
+                )
+        except ReservePaletteError:
+            if attempt == max_attempts - 1:
+                raise
+            stats.reserve_retries += 1
+            continue
+        break
 
     combined = combine_colorings(coloring_0, coloring_1)
     return ListForestDecompositionResult(combined, counter, stats)
@@ -172,7 +186,7 @@ def _reserve_lsfd(
     palettes = {eid: reserve_palettes[eid] for eid in leftover}
     deficient = [eid for eid in leftover if not palettes[eid]]
     if deficient:
-        raise DecompositionError(
+        raise ReservePaletteError(
             f"reserve palettes empty for {len(deficient)} leftover edges; "
             "increase palette sizes or epsilon"
         )

@@ -14,25 +14,51 @@ augmentation framework operates on.  It tracks
 
 Every mutation maintains the invariant that each color class is a
 forest; ``set_color`` refuses to close a cycle.
+
+The color-class BFS runs on one of two substrates.  The dict backend is
+the original per-color adjacency-dict walk, preserved as the reference
+path.  The csr backend extracts the color class as a sub-CSR over the
+host snapshot's dense indices (a color class is just an edge subset, so
+:meth:`~repro.graph.csr.CSRGraph.edge_subset_csr_arrays` produces its
+flat adjacency directly) and sweeps it with frontier-array BFS; the
+extraction is cached per color and invalidated by a version counter
+bumped on every attach/detach.  ``backend="auto"`` keeps small classes
+on the dict path — rebuilding arrays there costs more than the walk —
+and moves classes past the extraction threshold onto the kernel.  Both
+paths return identical values: paths in a forest are unique, and the
+component/connectivity queries are order-free.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..errors import PaletteError, ValidationError
+from ..graph.csr import _concat_ranges, bfs_distance_array, snapshot_of
 from ..graph.multigraph import MultiGraph
 from ..graph.union_find import UnionFind
 
 Palettes = Dict[int, Sequence[int]]
 
+# A color class moves onto the sub-CSR path once it has this many edges
+# AND is dense relative to the host (>= n/8 edges): below either bound
+# the dict walk beats the array extraction.
+COLOR_CSR_MIN_EDGES = 64
+
 
 class PartialListForestDecomposition:
     """Mutable partial LFD over a multigraph with per-edge palettes."""
 
-    def __init__(self, graph: MultiGraph, palettes: Palettes) -> None:
+    def __init__(
+        self, graph: MultiGraph, palettes: Palettes, backend: str = "auto"
+    ) -> None:
+        if backend not in ("auto", "dict", "csr"):
+            raise ValidationError(f"unknown color-class backend {backend!r}")
         self.graph = graph
+        self.backend = backend
         self.palettes = {
             eid: tuple(palettes[eid]) for eid in graph.edge_ids()
         }
@@ -43,20 +69,22 @@ class PartialListForestDecomposition:
         self._adj: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
         self._leftover: Set[int] = set()
         self._leftover_tail: Dict[int, int] = {}
-        self._snapshot = None  # lazy CSRGraph of the (immutable) host graph
+        # Per-color kernel bookkeeping: the edge set feeding the sub-CSR
+        # extraction, a version stamp bumped on every mutation, and the
+        # extracted (offsets, neighbors, edge ids) arrays keyed by the
+        # version they were built at.
+        self._class_eids: Dict[int, Set[int]] = {}
+        self._class_version: Dict[int, int] = {}
+        self._class_arrays: Dict[int, Tuple[int, Tuple]] = {}
 
     def csr_snapshot(self):
-        """Flat-array snapshot of the host graph, built once per state.
+        """Flat-array snapshot of the host graph (cached on the graph).
 
         The augmentation framework never mutates the host graph (CUT
         removals live in this object, not the graph), so one snapshot
         serves every CUT region scan and augmenting search of a run.
         """
-        if self._snapshot is None:
-            from ..graph.csr import CSRGraph
-
-            self._snapshot = CSRGraph.from_multigraph(self.graph)
-        return self._snapshot
+        return snapshot_of(self.graph)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,6 +186,8 @@ class PartialListForestDecomposition:
         adj = self._adj.setdefault(color, {})
         adj.setdefault(u, []).append((eid, v))
         adj.setdefault(v, []).append((eid, u))
+        self._class_eids.setdefault(color, set()).add(eid)
+        self._class_version[color] = self._class_version.get(color, 0) + 1
 
     def _detach(self, eid: int, color: int) -> None:
         u, v = self.graph.endpoints(eid)
@@ -168,10 +198,38 @@ class PartialListForestDecomposition:
         adj[v] = [(e, w) for e, w in adj[v] if e != eid]
         if not adj[v]:
             del adj[v]
+        self._class_eids[color].discard(eid)
+        self._class_version[color] = self._class_version.get(color, 0) + 1
 
     # ------------------------------------------------------------------
     # Path queries
     # ------------------------------------------------------------------
+
+    def _use_kernel(self, color: int) -> bool:
+        if self.backend == "dict":
+            return False
+        eids = self._class_eids.get(color)
+        if not eids:
+            return False
+        if self.backend == "csr":
+            return True
+        return (
+            len(eids) >= COLOR_CSR_MIN_EDGES
+            and 8 * len(eids) >= self.graph.n
+        )
+
+    def _color_arrays(self, color: int) -> Tuple:
+        """Cached sub-CSR ``(offsets, neighbors, edge ids)`` of a color
+        class, rebuilt when the class mutated since extraction."""
+        version = self._class_version.get(color, 0)
+        cached = self._class_arrays.get(color)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        arrays = self.csr_snapshot().edge_subset_csr_arrays(
+            sorted(self._class_eids[color])
+        )
+        self._class_arrays[color] = (version, arrays)
+        return arrays
 
     def _connected_in_color(self, u: int, v: int, color: int) -> bool:
         return self._path_search(u, v, color) is not None
@@ -194,6 +252,8 @@ class PartialListForestDecomposition:
             return None
         if u == v:
             return []
+        if self._use_kernel(color):
+            return self._path_search_kernel(u, v, color)
         parent: Dict[int, Tuple[int, int]] = {u: (u, -1)}
         queue = deque([u])
         while queue:
@@ -213,6 +273,48 @@ class PartialListForestDecomposition:
                     queue.append(other)
         return None
 
+    def _path_search_kernel(self, u: int, v: int, color: int) -> Optional[List[int]]:
+        """Frontier-array BFS on the color class's sub-CSR.
+
+        The path in a forest is unique, so the returned edge list is
+        identical to the dict walk's.
+        """
+        snap = self.csr_snapshot()
+        offsets, nbr, eids = self._color_arrays(color)
+        src = snap.index_of(u)
+        dst = snap.index_of(v)
+        n = snap.num_vertices
+        parent_eid = np.full(n, -1, dtype=np.int64)
+        parent_vtx = np.full(n, -1, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        visited[src] = True
+        frontier = np.asarray([src], dtype=np.int64)
+        while frontier.size and not visited[dst]:
+            lengths = offsets[frontier + 1] - offsets[frontier]
+            half = _concat_ranges(offsets[frontier], offsets[frontier + 1])
+            origins = np.repeat(frontier, lengths)
+            targets = nbr[half]
+            via = eids[half]
+            fresh = ~visited[targets]
+            targets, via, origins = targets[fresh], via[fresh], origins[fresh]
+            # Within a level a vertex may be reached via several edges;
+            # first occurrence wins (any parent reconstructs the same
+            # unique path — color classes are forests).
+            targets, first = np.unique(targets, return_index=True)
+            visited[targets] = True
+            parent_eid[targets] = via[first]
+            parent_vtx[targets] = origins[first]
+            frontier = targets
+        if not visited[dst]:
+            return None
+        path: List[int] = []
+        walk = dst
+        while walk != src:
+            path.append(int(parent_eid[walk]))
+            walk = int(parent_vtx[walk])
+        path.reverse()
+        return path
+
     def color_component_vertices(
         self, start: int, color: int
     ) -> Set[int]:
@@ -220,6 +322,13 @@ class PartialListForestDecomposition:
         adj = self._adj.get(color, {})
         if start not in adj:
             return {start}
+        if self._use_kernel(color):
+            snap = self.csr_snapshot()
+            offsets, nbr, _eids = self._color_arrays(color)
+            dist = bfs_distance_array(
+                offsets, nbr, snap.num_vertices, [snap.index_of(start)]
+            )
+            return set(snap.vertex_ids[dist >= 0].tolist())
         seen = {start}
         queue = deque([start])
         while queue:

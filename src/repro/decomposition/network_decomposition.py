@@ -25,14 +25,25 @@ Two constructions, matching the two notions used by the paper
 
 from __future__ import annotations
 
+import heapq
 import math
-from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
 
 from ..errors import DecompositionError
+from ..graph.csr import CSRGraph, _concat_ranges, resolve_backend, snapshot_of
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
 from ..rng import SeedLike, make_rng
+
+GraphLike = Union[MultiGraph, CSRGraph]
+
+
+def _resolve_backend(graph: GraphLike, backend: str) -> str:
+    # Shared dispatch (and auto cutoff) with the traversal layer; this
+    # layer reports unknown names in its own error taxonomy.
+    return resolve_backend(graph, backend, DecompositionError)
 
 
 class NetworkDecomposition:
@@ -65,9 +76,10 @@ class NetworkDecomposition:
 
 
 def network_decomposition(
-    graph: MultiGraph,
+    graph: GraphLike,
     rounds: Optional[RoundCounter] = None,
     radius_cost: int = 1,
+    backend: str = "auto",
 ) -> NetworkDecomposition:
     """Deterministic (O(log n), O(log n)) network decomposition.
 
@@ -75,12 +87,29 @@ def network_decomposition(
     (conceptually) computed on a power graph ``G^r`` simulated over G:
     pass ``r``.  Charged cost: O(log² n) * radius_cost, following the
     algorithms cited by Theorem 4.1.
+
+    Accepts a :class:`MultiGraph` or a CSR snapshot (e.g. the output of
+    ``power_graph(..., backend="csr")``); the csr backend grows balls
+    with mask-vectorized frontier sweeps and produces exactly the
+    clusters of the dict reference path.
     """
     counter = ensure_counter(rounds)
     n = graph.n
     if n == 0:
         return NetworkDecomposition([])
 
+    if _resolve_backend(graph, backend) == "csr":
+        classes = _decompose_csr(snapshot_of(graph), n)
+    else:
+        classes = _decompose_dict(graph, n)
+
+    log_n = max(1, math.ceil(math.log2(n + 1)))
+    counter.charge(log_n * log_n * max(1, radius_cost), "network decomposition")
+    return NetworkDecomposition(classes)
+
+
+def _decompose_dict(graph: GraphLike, n: int) -> List[List[List[int]]]:
+    """Reference ball carving on the dict adjacency."""
     remaining: Set[int] = set(graph.vertices())
     classes: List[List[List[int]]] = []
     guard = 2 * max(1, math.ceil(math.log2(n + 1))) + 4
@@ -98,14 +127,53 @@ def network_decomposition(
             unvisited -= shell
             remaining -= ball
         classes.append(clusters)
+    return classes
 
-    log_n = max(1, math.ceil(math.log2(n + 1)))
-    counter.charge(log_n * log_n * max(1, radius_cost), "network decomposition")
-    return NetworkDecomposition(classes)
+
+def _decompose_csr(snapshot: CSRGraph, n: int) -> List[List[List[int]]]:
+    """Ball carving over dense-index masks; cluster-for-cluster equal to
+    :func:`_decompose_dict` (seeds by minimum vertex id, identical
+    doubling rule).
+
+    Seeds come from a cursor over the id-sorted vertex order: within a
+    class the minimum unvisited id only grows, so the scan is amortized
+    O(n) per class.  Ball membership uses a stamp array (stamp[i] ==
+    current cluster token) so no per-cluster mask is allocated.
+    """
+    vertex_ids = snapshot.vertex_ids
+    order_by_id = np.argsort(vertex_ids, kind="stable").tolist()
+    remaining = np.ones(n, dtype=bool)
+    stamp = np.full(n, -1, dtype=np.int64)
+    classes: List[List[List[int]]] = []
+    guard = 2 * max(1, math.ceil(math.log2(n + 1))) + 4
+    token = 0
+
+    while remaining.any():
+        if len(classes) > guard:
+            raise DecompositionError("network decomposition did not converge")
+        clusters: List[List[int]] = []
+        unvisited = remaining.copy()
+        cursor = 0
+        while True:
+            while cursor < n and not unvisited[order_by_id[cursor]]:
+                cursor += 1
+            if cursor == n:
+                break
+            seed_index = order_by_id[cursor]
+            ball, shell = _grow_doubling_ball_csr(
+                snapshot, seed_index, unvisited, stamp, token
+            )
+            token += 1
+            clusters.append(np.sort(vertex_ids[ball]).tolist())
+            unvisited[ball] = False
+            unvisited[shell] = False
+            remaining[ball] = False
+        classes.append(clusters)
+    return classes
 
 
 def _grow_doubling_ball(
-    graph: MultiGraph, center: int, allowed: Set[int]
+    graph: GraphLike, center: int, allowed: Set[int]
 ) -> Tuple[Set[int], Set[int]]:
     """Grow a BFS ball inside ``allowed`` until the next shell would not
     double it; return (ball, next shell)."""
@@ -125,8 +193,47 @@ def _grow_doubling_ball(
         frontier = shell
 
 
+def _grow_doubling_ball_csr(
+    snapshot: CSRGraph,
+    center: int,
+    allowed: np.ndarray,
+    stamp: np.ndarray,
+    token: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Frontier-vectorized :func:`_grow_doubling_ball` over dense
+    indices; returns (ball indices, next-shell indices).  ``stamp``
+    marks ball membership with ``token`` (one shared array instead of a
+    fresh mask per cluster)."""
+    n = snapshot.num_vertices
+    offsets = snapshot.vertex_offsets
+    nbr = snapshot.neighbor_ids
+    stamp[center] = token
+    frontier = np.asarray([center], dtype=np.int64)
+    parts = [frontier]
+    ball_size = 1
+    while True:
+        half = _concat_ranges(offsets[frontier], offsets[frontier + 1])
+        candidates = nbr[half]
+        if candidates.size > n >> 2:
+            # Dense frontier: a scatter mask dedups in O(n + |half|),
+            # beating unique's O(|half| log |half|) sort.
+            hit = np.zeros(n, dtype=bool)
+            hit[candidates] = True
+            shell = np.flatnonzero(hit & allowed & (stamp != token))
+        else:
+            shell = np.unique(candidates)
+            shell = shell[allowed[shell] & (stamp[shell] != token)]
+        if shell.size == 0 or ball_size + int(shell.size) <= 2 * ball_size:
+            ball = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            return ball, shell
+        stamp[shell] = token
+        parts.append(shell)
+        ball_size += int(shell.size)
+        frontier = shell
+
+
 def validate_network_decomposition(
-    graph: MultiGraph,
+    graph: GraphLike,
     decomposition: NetworkDecomposition,
     max_diameter: int,
     max_classes: int,
@@ -174,10 +281,11 @@ def validate_network_decomposition(
 
 
 def partial_network_decomposition(
-    graph: MultiGraph,
+    graph: GraphLike,
     beta: float,
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "auto",
 ) -> Dict[int, int]:
     """MPX random-shift clustering: vertex -> cluster head.
 
@@ -185,6 +293,11 @@ def partial_network_decomposition(
     the cluster of the head ``u`` minimizing ``d(u, v) - δ_u``.  Cluster
     radius is ``O(log n / β)`` w.h.p. and every edge is cut with
     probability at most ~β.  Charged rounds: O(log n / β).
+
+    Both backends draw shifts in vertex insertion order and order the
+    heap by ``(time, vertex id, head id)``, so for a given seed the
+    clustering is identical; the csr path only swaps the dict adjacency
+    for flat index arrays in the Dijkstra sweep.
     """
     if not (0.0 < beta <= 1.0):
         raise DecompositionError(f"beta must be in (0, 1], got {beta}")
@@ -194,12 +307,21 @@ def partial_network_decomposition(
     if n == 0:
         return {}
 
+    if _resolve_backend(graph, backend) == "csr":
+        head_of = _mpx_sweep_csr(snapshot_of(graph), beta, rng)
+    else:
+        head_of = _mpx_sweep_dict(graph, beta, rng)
+
+    expected_radius = math.ceil(math.log(max(n, 2)) / beta) + 1
+    counter.charge(expected_radius, "MPX partial network decomposition")
+    return head_of
+
+
+def _mpx_sweep_dict(graph: GraphLike, beta: float, rng) -> Dict[int, int]:
+    """Reference Dijkstra sweep with unit edges and start times -shift."""
     shift: Dict[int, float] = {
         v: rng.expovariate(beta) for v in graph.vertices()
     }
-    # Dijkstra-style sweep with unit edges and head start times -shift.
-    import heapq
-
     best: Dict[int, float] = {}
     head_of: Dict[int, int] = {}
     heap: List[Tuple[float, int, int]] = []
@@ -218,16 +340,57 @@ def partial_network_decomposition(
                 best[other] = candidate
                 head_of[other] = head
                 heapq.heappush(heap, (candidate, other, head))
-
-    expected_radius = math.ceil(math.log(max(n, 2)) / beta) + 1
-    counter.charge(expected_radius, "MPX partial network decomposition")
     return head_of
 
 
+def _mpx_sweep_csr(snapshot: CSRGraph, beta: float, rng) -> Dict[int, int]:
+    """The same sweep over flat adjacency arrays.
+
+    Heap entries carry ``(time, vertex id, head id)`` first — identical
+    ordering to the dict path — with the dense indices appended as
+    payload so the state arrays never need an id lookup.  Parallel
+    half-edges relax twice, but the second attempt always fails the
+    strict ``<`` test, so the pushed multiset matches the reference.
+    """
+    n = snapshot.num_vertices
+    vids = snapshot.vertex_id_list()
+    offsets, nbr = snapshot.adjacency_lists()
+    # Same draw order as the dict path: vertex insertion order.
+    best: List[float] = [-rng.expovariate(beta) for _ in range(n)]
+    head: List[int] = list(range(n))
+    heap = [(best[i], vids[i], vids[i], i, i) for i in range(n)]
+    heapq.heapify(heap)
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    while heap:
+        time, _vid, head_vid, index, head_index = heappop(heap)
+        if head[index] != head_index or best[index] != time:
+            continue
+        candidate = time + 1.0
+        for half in range(offsets[index], offsets[index + 1]):
+            j = nbr[half]
+            if candidate < best[j]:
+                best[j] = candidate
+                head[j] = head_index
+                heappush(heap, (candidate, vids[j], head_vid, j, head_index))
+    return {vids[i]: vids[head[i]] for i in range(n)}
+
+
 def cut_edges_of_clustering(
-    graph: MultiGraph, head_of: Dict[int, int]
+    graph: GraphLike, head_of: Dict[int, int], backend: str = "auto"
 ) -> List[int]:
     """Edge ids whose endpoints lie in different MPX clusters."""
+    if _resolve_backend(graph, backend) == "csr":
+        snap = snapshot_of(graph)
+        if snap.num_edges == 0:
+            return []
+        heads = np.fromiter(
+            (head_of[v] for v in snap.vertex_id_list()),
+            dtype=np.int64,
+            count=snap.num_vertices,
+        )
+        cut = heads[snap.edge_u] != heads[snap.edge_v]
+        return snap.edge_id[cut].tolist()
     return [
         eid for eid, u, v in graph.edges() if head_of[u] != head_of[v]
     ]

@@ -36,5 +36,11 @@ class ConvergenceError(DecompositionError):
     """A randomized procedure exhausted its retry budget."""
 
 
+class ReservePaletteError(DecompositionError):
+    """A leftover edge drew an empty reserve palette (the Theorem 4.9
+    guarantee is only w.h.p.; callers convert it to Las Vegas by
+    retrying with a fresh stream)."""
+
+
 class LocalModelError(ReproError):
     """Misuse of the LOCAL simulator (message after halt, bad neighbor)."""

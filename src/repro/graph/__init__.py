@@ -2,7 +2,7 @@
 forests, flow, matching, generators."""
 
 from .multigraph import MultiGraph
-from .csr import CSRGraph, PeelingView, rooted_forest_arrays
+from .csr import CSRGraph, PeelingView, rooted_forest_arrays, snapshot_of
 from .union_find import RollbackUnionFind, UnionFind
 from .traversal import (
     bfs_distances,
@@ -32,6 +32,7 @@ __all__ = [
     "CSRGraph",
     "PeelingView",
     "rooted_forest_arrays",
+    "snapshot_of",
     "UnionFind",
     "RollbackUnionFind",
     "bfs_distances",

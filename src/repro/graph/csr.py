@@ -75,6 +75,99 @@ def _concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
     return np.repeat(starts - before, lengths) + np.arange(total, dtype=np.int64)
 
 
+def _half_edge_csr(
+    n: int, sub_u: np.ndarray, sub_v: np.ndarray, sub_eid: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble CSR adjacency ``(offsets, neighbors, edge ids)`` over
+    ``n`` dense vertex indices from an edge list given as endpoint-index
+    arrays.  The stable counting sort keeps, within each vertex, u-side
+    half-edges (by edge position) before v-side ones."""
+    half_src = np.concatenate((sub_u, sub_v))
+    half_dst = np.concatenate((sub_v, sub_u))
+    half_eid = np.concatenate((sub_eid, sub_eid))
+    order = np.argsort(half_src, kind="stable")
+    counts = (
+        np.bincount(half_src, minlength=n)
+        if half_src.size
+        else np.zeros(n, np.int64)
+    )
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets, half_dst[order], half_eid[order]
+
+
+# MultiGraphs below this vertex count stay on the dict reference path
+# under backend="auto": converting to arrays costs more than it saves.
+AUTO_CSR_CUTOFF = 256
+
+
+def resolve_backend(graph, backend: str, error_cls=GraphError) -> str:
+    """Shared backend dispatch for the traversal / decomposition layers.
+
+    ``auto`` routes :class:`CSRGraph` inputs (and large ``MultiGraph``
+    inputs) to the kernel and keeps small dict graphs on the reference
+    path; unknown names raise ``error_cls`` so each layer keeps its own
+    error taxonomy.
+    """
+    if backend == "auto":
+        if isinstance(graph, CSRGraph):
+            return "csr"
+        return "csr" if graph.n >= AUTO_CSR_CUTOFF else "dict"
+    if backend not in ("dict", "csr"):
+        raise error_cls(f"unknown backend {backend!r}")
+    return backend
+
+
+def bfs_distance_array(
+    offsets: np.ndarray,
+    neighbors: np.ndarray,
+    n: int,
+    seeds: Sequence[int],
+    radius: Optional[int] = None,
+) -> np.ndarray:
+    """Frontier-vectorized multi-source BFS over any CSR adjacency.
+
+    The one sweep shared by the snapshot's :meth:`CSRGraph.distance_array`,
+    the induced-subgraph diameter scan, and the per-color component
+    queries: returns per-index distances (-1 unreached), stopping at
+    ``radius`` when given.
+    """
+    dist = np.full(n, -1, dtype=np.int64)
+    if len(seeds) == 0:
+        return dist
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    dist[frontier] = 0
+    depth = 0
+    while frontier.size and (radius is None or depth < radius):
+        half = _concat_ranges(offsets[frontier], offsets[frontier + 1])
+        targets = np.unique(neighbors[half])
+        targets = targets[dist[targets] < 0]
+        depth += 1
+        dist[targets] = depth
+        frontier = targets
+    return dist
+
+
+def snapshot_of(graph) -> "CSRGraph":
+    """Cached CSR snapshot of a graph (identity for :class:`CSRGraph`).
+
+    The cache lives on the :class:`MultiGraph` instance, keyed by a
+    mutation fingerprint: ``add_vertex`` bumps ``n``, ``add_edge`` bumps
+    ``_next_edge`` (monotonically), and ``remove_edge`` drops ``m`` —
+    no edit sequence restores all three, so a fingerprint hit means the
+    graph is unchanged since the snapshot was taken.
+    """
+    if isinstance(graph, CSRGraph):
+        return graph
+    fingerprint = (graph.n, graph.m, graph._next_edge)
+    cached = graph.__dict__.get("_csr_snapshot_cache")
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    snapshot = CSRGraph.from_multigraph(graph)
+    graph.__dict__["_csr_snapshot_cache"] = (fingerprint, snapshot)
+    return snapshot
+
+
 class CSRGraph:
     """Immutable flat-array snapshot of a :class:`MultiGraph`."""
 
@@ -167,17 +260,9 @@ class CSRGraph:
             else {int(e): pos for pos, e in enumerate(edge_id.tolist())}
         )
 
-        # Half-edge counting sort: stable argsort keeps, within each
-        # vertex, u-side half-edges (by edge position) before v-side.
-        half_src = np.concatenate((edge_u, edge_v))
-        half_dst = np.concatenate((edge_v, edge_u))
-        half_eid = np.concatenate((edge_id, edge_id))
-        order = np.argsort(half_src, kind="stable")
-        neighbor_ids = half_dst[order]
-        edge_ids = half_eid[order]
-        counts = np.bincount(half_src, minlength=n) if m else np.zeros(n, np.int64)
-        vertex_offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=vertex_offsets[1:])
+        vertex_offsets, neighbor_ids, edge_ids = _half_edge_csr(
+            n, edge_u, edge_v, edge_id
+        )
 
         return cls(
             vertex_ids,
@@ -189,6 +274,49 @@ class CSRGraph:
             edge_id,
             index_of,
             eid_pos,
+        )
+
+    # ------------------------------------------------------------------
+    # MultiGraph-compatible surface
+    # ------------------------------------------------------------------
+    #
+    # The traversal layer and the network decomposition accept either
+    # substrate; these make a snapshot answer the (read-only) subset of
+    # the MultiGraph API those algorithms touch.
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (MultiGraph-compatible)."""
+        return self.num_vertices
+
+    @property
+    def m(self) -> int:
+        """Number of edges, counting multiplicities (MultiGraph-compatible)."""
+        return self.num_edges
+
+    def vertices(self) -> List[int]:
+        """Original vertex ids, in the source graph's insertion order."""
+        return list(self.vertex_id_list())
+
+    def has_vertex(self, vertex: int) -> bool:
+        try:
+            self.index_of(vertex)
+        except GraphError:
+            return False
+        return True
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Distinct neighboring vertex ids (in dense-index order)."""
+        i = self.index_of(vertex)
+        start, stop = self.incident_slice(i)
+        return self.vertex_ids[np.unique(self.neighbor_ids[start:stop])].tolist()
+
+    def edges(self):
+        """Iterate ``(eid, u, v)`` triples in edge-position order."""
+        return zip(
+            self.edge_id.tolist(),
+            self.edge_u_ids.tolist(),
+            self.edge_v_ids.tolist(),
         )
 
     # ------------------------------------------------------------------
@@ -311,6 +439,196 @@ class CSRGraph:
         """``N^r(X)`` as a set of original vertex ids (drop-in for
         :func:`repro.graph.traversal.neighborhood`)."""
         return self.vertex_set_from_mask(self.neighborhood_mask(sources, radius))
+
+    # ------------------------------------------------------------------
+    # Traversal primitives (frontier-array BFS)
+    # ------------------------------------------------------------------
+
+    def distance_array(
+        self, source_indices: Sequence[int], radius: Optional[int] = None
+    ) -> np.ndarray:
+        """Multi-source BFS distances over dense indices (-1 unreached).
+
+        One frontier-vectorized sweep; vertices beyond ``radius`` (if
+        given) stay at -1.
+        """
+        return bfs_distance_array(
+            self.vertex_offsets,
+            self.neighbor_ids,
+            self.num_vertices,
+            source_indices,
+            radius,
+        )
+
+    def component_labels(self) -> np.ndarray:
+        """Connected-component label per dense index: the minimum dense
+        index of the component, via min-label propagation with pointer
+        jumping (O(log n) rounds of O(m) array work)."""
+        labels = np.arange(self.num_vertices, dtype=np.int64)
+        if self.num_edges == 0 or self.num_vertices == 0:
+            return labels
+        u, v = self.edge_u, self.edge_v
+        while True:
+            nxt = labels.copy()
+            np.minimum.at(nxt, u, labels[v])
+            np.minimum.at(nxt, v, labels[u])
+            while True:
+                hop = nxt[nxt]
+                if np.array_equal(hop, nxt):
+                    break
+                nxt = hop
+            if np.array_equal(nxt, labels):
+                return labels
+            labels = nxt
+
+    def power_csr(self, radius: int) -> "CSRGraph":
+        """The power graph ``G^radius`` as a fresh simple CSR snapshot.
+
+        Runs simultaneous BFS from blocks of sources over boolean
+        reachability matrices and assembles the CSR adjacency directly
+        from the visited masks — the dict multigraph of the reference
+        path is never materialized.  Vertex ids (and their order) are
+        shared with this snapshot; power-edge ids are dense ``0..m'-1``
+        assigned in (u, v) dense-index lexicographic order.
+        """
+        if radius < 1:
+            raise GraphError(f"power graph radius must be >= 1, got {radius}")
+        n = self.num_vertices
+        offsets = self.vertex_offsets
+        nbr = self.neighbor_ids
+        # Block size bounds the boolean reachability matrix at ~2M cells.
+        block = max(1, min(n, 2_000_000 // max(1, n)))
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        for start in range(0, n, block):
+            sources = np.arange(start, min(start + block, n), dtype=np.int64)
+            b = sources.size
+            visited = np.zeros((b, n), dtype=bool)
+            visited[np.arange(b), sources] = True
+            frontier = visited.copy()
+            depth = 0
+            while depth < radius:
+                rows, cols = np.nonzero(frontier)
+                if rows.size == 0:
+                    break
+                lengths = offsets[cols + 1] - offsets[cols]
+                half = _concat_ranges(offsets[cols], offsets[cols + 1])
+                fresh = np.zeros_like(visited)
+                fresh[np.repeat(rows, lengths), nbr[half]] = True
+                fresh &= ~visited
+                visited |= fresh
+                frontier = fresh
+                depth += 1
+            rows, cols = np.nonzero(visited)
+            src = sources[rows]
+            keep = src != cols  # drop the distance-0 self-pairs
+            src_parts.append(src[keep])
+            dst_parts.append(cols[keep])
+
+        if src_parts:
+            half_src = np.concatenate(src_parts)
+            half_dst = np.concatenate(dst_parts)
+        else:
+            half_src = np.empty(0, dtype=np.int64)
+            half_dst = np.empty(0, dtype=np.int64)
+        # Blocks emit sources in ascending order and np.nonzero is
+        # row-major, so (half_src, half_dst) is already lexicographically
+        # sorted: it IS the CSR adjacency.
+        counts = (
+            np.bincount(half_src, minlength=n)
+            if half_src.size
+            else np.zeros(n, np.int64)
+        )
+        power_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=power_offsets[1:])
+        forward = half_src < half_dst
+        edge_u = half_src[forward]
+        edge_v = half_dst[forward]
+        edge_id = np.arange(edge_u.size, dtype=np.int64)
+        # Reachability is symmetric, so every half-edge's (min, max) key
+        # appears among the forward pairs; the forward pairs are sorted
+        # by construction, so ids resolve by binary search.
+        if half_src.size:
+            edge_keys = edge_u * n + edge_v
+            half_keys = (
+                np.minimum(half_src, half_dst) * n
+                + np.maximum(half_src, half_dst)
+            )
+            half_eids = np.searchsorted(edge_keys, half_keys)
+        else:
+            half_eids = np.empty(0, dtype=np.int64)
+        return CSRGraph(
+            self.vertex_ids,
+            power_offsets,
+            half_dst,
+            half_eids,
+            edge_u,
+            edge_v,
+            edge_id,
+            self._index_of,
+            None,
+        )
+
+    # ------------------------------------------------------------------
+    # Subgraph extraction (per-color / induced sub-CSR)
+    # ------------------------------------------------------------------
+
+    def edge_positions(self, eids: Sequence[int]) -> np.ndarray:
+        """Dense edge positions of the given original edge ids."""
+        if self._eid_pos is None:
+            return np.asarray(eids, dtype=np.int64)
+        pos_of = self._eid_pos
+        return np.fromiter(
+            (pos_of[e] for e in eids), dtype=np.int64, count=len(eids)
+        )
+
+    def edge_subset_csr_arrays(
+        self, eids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency ``(offsets, neighbors, edge ids)`` of the
+        subgraph formed by ``eids``, over this snapshot's dense indices.
+
+        This is the per-color extraction primitive: a color class is an
+        edge subset, and its BFS runs on these arrays at kernel speed.
+        """
+        positions = self.edge_positions(eids)
+        return _half_edge_csr(
+            self.num_vertices,
+            self.edge_u[positions],
+            self.edge_v[positions],
+            self.edge_id[positions],
+        )
+
+    def induced_sub_csr(
+        self, members: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compacted CSR adjacency ``(offsets, neighbors)`` of the
+        subgraph induced by sorted unique dense indices ``members``,
+        relabeled to local indices ``0..k-1``.
+
+        Work is proportional to the members' incident half-edges (plus
+        one O(n) relabel table), so per-cluster queries stay cheap on
+        large host graphs.
+        """
+        k = int(members.size)
+        local = np.full(self.num_vertices, -1, dtype=np.int64)
+        local[members] = np.arange(k, dtype=np.int64)
+        starts = self.vertex_offsets[members]
+        ends = self.vertex_offsets[members + 1]
+        half = _concat_ranges(starts, ends)
+        src_local = np.repeat(np.arange(k, dtype=np.int64), ends - starts)
+        dst_local = local[self.neighbor_ids[half]]
+        keep = dst_local >= 0
+        src_local = src_local[keep]
+        dst_local = dst_local[keep]
+        counts = (
+            np.bincount(src_local, minlength=k)
+            if src_local.size
+            else np.zeros(k, np.int64)
+        )
+        offsets = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return offsets, dst_local
 
     # ------------------------------------------------------------------
 
@@ -571,13 +889,7 @@ def rooted_forest_arrays(
     if not eid_list:
         return ForestArrays(snapshot, depth, parent_eid, [])
 
-    if snapshot._eid_pos is None:
-        positions = np.asarray(eid_list, dtype=np.int64)
-    else:
-        pos_of = snapshot._eid_pos
-        positions = np.fromiter(
-            (pos_of[e] for e in eid_list), dtype=np.int64, count=len(eid_list)
-        )
+    positions = snapshot.edge_positions(eid_list)
     sub_u = snapshot.edge_u[positions]
     sub_v = snapshot.edge_v[positions]
     sub_eid = snapshot.edge_id[positions]
@@ -615,16 +927,7 @@ def rooted_forest_arrays(
     roots = [index for _key, index in best.values()]
 
     # Sub-CSR over the forest edges, then one multi-source BFS.
-    half_src = np.concatenate((sub_u, sub_v))
-    half_dst = np.concatenate((sub_v, sub_u))
-    half_eid = np.concatenate((sub_eid, sub_eid))
-    order = np.argsort(half_src, kind="stable")
-    sorted_src = half_src[order]
-    sub_nbr = half_dst[order]
-    sub_edge = half_eid[order]
-    counts = np.bincount(sorted_src, minlength=n)
-    sub_offsets = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=sub_offsets[1:])
+    sub_offsets, sub_nbr, sub_edge = _half_edge_csr(n, sub_u, sub_v, sub_eid)
 
     frontier = np.asarray(sorted(roots), dtype=np.int64)
     depth[frontier] = 0

@@ -9,6 +9,7 @@ consumption pattern does not perturb another's).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
@@ -32,9 +33,13 @@ def child_rng(rng: random.Random, label: str) -> random.Random:
 
     The child is seeded from the parent stream plus a stable hash of the
     label, so distinct labels produce distinct streams deterministically.
+    The label digest must not come from ``hash(str)``: that value is
+    randomized per process (PYTHONHASHSEED), which would make "seeded"
+    runs irreproducible across processes — and flake CI.
     """
     base = rng.getrandbits(64)
-    mix = hash(label) & 0xFFFFFFFFFFFFFFFF
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    mix = int.from_bytes(digest, "big")
     return random.Random(base ^ mix)
 
 

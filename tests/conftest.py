@@ -1,8 +1,10 @@
-"""Shared pytest wiring: the ``slow`` marker and the golden ``--regen`` flag.
+"""Shared pytest wiring: the golden ``--regen`` flag.
 
-The quick development loop is ``pytest -m "not slow"`` (see Makefile's
-``test-fast``); the full suite — including the two multi-minute example
-sweeps — remains the tier-1 gate.
+The ``slow`` marker is registered in pyproject.toml (the single source
+of pytest configuration).  The quick development loop is
+``pytest -m "not slow"`` (see Makefile's ``test-fast``); the full suite
+— including the two multi-minute example sweeps — remains the tier-1
+gate.
 """
 
 import pytest
@@ -15,13 +17,6 @@ def pytest_addoption(parser):
         default=False,
         help="regenerate tests/golden/*.json from the current implementation "
         "instead of comparing against the frozen values",
-    )
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "slow: long-running case; deselect with -m \"not slow\" for the quick loop",
     )
 
 

@@ -10,6 +10,16 @@ edge ids) — assert that
   ``degeneracy_orientation``, ``acyclic_orientation``,
   ``low_outdegree_orientation``) return results identical to the
   dict-backed reference implementations, including charged rounds;
+* the traversal layer (``bfs_distances``, ``neighborhood``,
+  ``power_graph``, ``connected_components``,
+  ``diameter_of_component``) and the network-decomposition machinery
+  (``network_decomposition``, ``partial_network_decomposition``,
+  ``cut_edges_of_clustering``) return identical values on both
+  backends, including cluster and head orderings;
+* the per-color sub-CSR path of
+  :class:`~repro.core.partial_coloring.PartialListForestDecomposition`
+  answers every path/component/connectivity query exactly like the
+  dict walk under an identical mutation history;
 * :func:`rooted_forest_arrays` reproduces :class:`RootedForest`'s
   rooting (depths, parent edges, root choice) on forest subsets.
 
@@ -21,14 +31,28 @@ import random
 
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ValidationError
 from repro.graph import CSRGraph, MultiGraph, RootedForest, rooted_forest_arrays
+from repro.graph.csr import snapshot_of
+from repro.graph.traversal import (
+    bfs_distances,
+    connected_components,
+    diameter_of_component,
+    neighborhood,
+    power_graph,
+)
 from repro.core.orientation import low_outdegree_orientation
+from repro.core.partial_coloring import PartialListForestDecomposition
 from repro.decomposition.degeneracy import (
     degeneracy_ordering,
     degeneracy_orientation,
 )
 from repro.decomposition.hpartition import acyclic_orientation, h_partition
+from repro.decomposition.network_decomposition import (
+    cut_edges_of_clustering,
+    network_decomposition,
+    partial_network_decomposition,
+)
 from repro.local import RoundCounter
 
 SEEDS = range(200)
@@ -171,6 +195,153 @@ def test_rooted_forest_arrays_match_rooted_forest(seed):
     for vertex in reference_pref.depth:
         index = snap.index_of(vertex)
         assert int(arrays_pref.depth[index]) == reference_pref.depth[vertex]
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 3))
+def test_traversal_matches_reference(seed):
+    graph = random_multigraph(seed)
+    rng = random.Random(seed * 31 + 7)
+    sources = rng.sample(graph.vertices(), max(1, graph.n // 4))
+
+    for radius in (None, 0, 1, 3):
+        ref = bfs_distances(graph, sources, radius, backend="dict")
+        csr = bfs_distances(graph, sources, radius, backend="csr")
+        assert csr == ref
+    assert neighborhood(graph, sources, 2, backend="csr") == neighborhood(
+        graph, sources, 2, backend="dict"
+    )
+
+    ref_components = connected_components(graph, backend="dict")
+    assert connected_components(graph, backend="csr") == ref_components
+    # A snapshot input routes through the csr path under "auto" too.
+    assert connected_components(snapshot_of(graph)) == ref_components
+
+    largest = max(ref_components, key=len)
+    assert diameter_of_component(
+        graph, largest, backend="csr"
+    ) == diameter_of_component(graph, largest, backend="dict")
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 5))
+def test_power_graph_matches_reference(seed):
+    graph = random_multigraph(seed)
+    snap = snapshot_of(graph)
+    for radius in (1, 2, 4):
+        ref = power_graph(graph, radius, backend="dict")
+        csr = power_graph(graph, radius, backend="csr")
+        assert isinstance(ref, MultiGraph)
+        assert isinstance(csr, CSRGraph)
+        assert csr.vertices() == ref.vertices()
+        assert csr.m == ref.m  # both simple: one edge per joined pair
+        for vertex in graph.vertices():
+            assert sorted(csr.neighbors(vertex)) == sorted(ref.neighbors(vertex))
+        # "auto" keeps the input's representation.
+        assert isinstance(power_graph(graph, radius), MultiGraph)
+        assert isinstance(power_graph(snap, radius), CSRGraph)
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 5))
+def test_network_decomposition_matches_reference(seed):
+    graph = random_multigraph(seed)
+    ref_rounds, csr_rounds = RoundCounter(), RoundCounter()
+    ref = network_decomposition(graph, ref_rounds, radius_cost=3, backend="dict")
+    csr = network_decomposition(graph, csr_rounds, radius_cost=3, backend="csr")
+    assert csr.classes == ref.classes
+    assert csr_rounds.total == ref_rounds.total
+
+    # End to end across substrates: the ball carving applied to the
+    # power graph must not care which backend produced it.
+    power_ref = power_graph(graph, 2, backend="dict")
+    power_csr = power_graph(graph, 2, backend="csr")
+    assert (
+        network_decomposition(power_csr, backend="csr").classes
+        == network_decomposition(power_ref, backend="dict").classes
+    )
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 5))
+def test_partial_network_decomposition_matches_reference(seed):
+    graph = random_multigraph(seed)
+    for beta in (0.2, 0.6):
+        ref = partial_network_decomposition(
+            graph, beta, seed=seed, backend="dict"
+        )
+        csr = partial_network_decomposition(
+            graph, beta, seed=seed, backend="csr"
+        )
+        assert csr == ref
+        assert list(csr) == list(ref)  # insertion order preserved too
+        assert cut_edges_of_clustering(
+            graph, ref, backend="csr"
+        ) == cut_edges_of_clustering(graph, ref, backend="dict")
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 10))
+def test_partial_coloring_backends_match(seed):
+    """An identical mutation history on the dict and forced-csr color
+    backends must agree on every success/failure, path, and component."""
+    graph = random_multigraph(seed)
+    if graph.m == 0:
+        pytest.skip("empty instance")
+    palette = range(4)
+    palettes = {eid: palette for eid in graph.edge_ids()}
+    ref = PartialListForestDecomposition(graph, palettes, backend="dict")
+    ker = PartialListForestDecomposition(graph, palettes, backend="csr")
+
+    rng = random.Random(seed * 131 + 5)
+    for eid in graph.edge_ids():
+        color = rng.randrange(4)
+        outcomes = []
+        for state in (ref, ker):
+            try:
+                state.set_color(eid, color)
+                outcomes.append(True)
+            except ValidationError:
+                outcomes.append(False)
+        assert outcomes[0] == outcomes[1]
+        if rng.random() < 0.25:
+            ref.uncolor(eid)
+            ker.uncolor(eid)
+    assert ref.coloring() == ker.coloring()
+
+    for eid in graph.edge_ids():
+        for color in palette:
+            assert ref.color_path(eid, color) == ker.color_path(eid, color)
+    for vertex in graph.vertices():
+        for color in palette:
+            assert ref.color_component_vertices(
+                vertex, color
+            ) == ker.color_component_vertices(vertex, color)
+    ref.assert_valid()
+    ker.assert_valid()
+
+
+def test_partial_coloring_rejects_unknown_backend():
+    graph = MultiGraph.from_edges(3, [(0, 1), (1, 2)])
+    with pytest.raises(ValidationError):
+        PartialListForestDecomposition(
+            graph, {eid: range(2) for eid in graph.edge_ids()}, backend="dcit"
+        )
+
+
+def test_traversal_rejects_unknown_backend():
+    graph = MultiGraph.from_edges(3, [(0, 1), (1, 2)])
+    with pytest.raises(GraphError):
+        bfs_distances(graph, [0], backend="dcit")
+
+
+def test_snapshot_cache_invalidates_on_mutation():
+    graph = MultiGraph.from_edges(4, [(0, 1), (1, 2)])
+    first = snapshot_of(graph)
+    assert snapshot_of(graph) is first  # cache hit while unmutated
+    graph.add_edge(2, 3)
+    second = snapshot_of(graph)
+    assert second is not first
+    assert second.m == graph.m
+    eid = graph.edge_ids()[0]
+    graph.remove_edge(eid)
+    third = snapshot_of(graph)
+    assert third is not second and third.m == graph.m
 
 
 def test_mask_of_rejects_unknown_vertices():

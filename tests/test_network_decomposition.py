@@ -156,3 +156,41 @@ def test_mpx_deterministic_with_seed():
     a = partial_network_decomposition(g, beta=0.4, seed=11)
     b = partial_network_decomposition(g, beta=0.4, seed=11)
     assert a == b
+
+
+# ----------------------------------------------------------------------
+# CSR backend
+# ----------------------------------------------------------------------
+
+
+def test_nd_csr_backend_validates():
+    g = grid_graph(8, 8)
+    nd = network_decomposition(g, backend="csr")
+    validate_network_decomposition(g, nd, diameter_cap(64), class_cap(64))
+    assert nd.classes == network_decomposition(g, backend="dict").classes
+
+
+def test_nd_on_csr_power_graph():
+    """A CSR power graph feeds the ball carving end to end, and the
+    validator accepts the snapshot as the host graph."""
+    from repro.graph.csr import snapshot_of
+
+    g = path_graph(40)
+    g2 = power_graph(snapshot_of(g), 2)
+    nd = network_decomposition(g2, radius_cost=2)
+    validate_network_decomposition(g2, nd, diameter_cap(40), class_cap(40))
+
+
+def test_nd_rejects_unknown_backend():
+    with pytest.raises(DecompositionError):
+        network_decomposition(path_graph(4), backend="dcit")
+
+
+def test_mpx_csr_backend_matches():
+    g = erdos_renyi(30, 0.2, seed=4)
+    a = partial_network_decomposition(g, beta=0.4, seed=11, backend="dict")
+    b = partial_network_decomposition(g, beta=0.4, seed=11, backend="csr")
+    assert a == b
+    assert cut_edges_of_clustering(g, a, backend="csr") == cut_edges_of_clustering(
+        g, a, backend="dict"
+    )

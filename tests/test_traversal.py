@@ -149,6 +149,32 @@ def test_grid_diameter():
     assert diameter_of_component(g, g.vertices()) == (3 - 1) + (4 - 1)
 
 
+def test_csr_backend_small_graphs():
+    """The kernel path honours the same contracts on toy inputs."""
+    from repro.graph import CSRGraph
+
+    g = path_graph(5)
+    assert bfs_distances(g, [0], backend="csr") == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+    assert bfs_distances(g, [0], radius=2, backend="csr") == {0: 0, 1: 1, 2: 2}
+    assert neighborhood(g, [3], 0, backend="csr") == {3}
+    with pytest.raises(GraphError):
+        bfs_distances(g, [99], backend="csr")
+
+    p2 = power_graph(g, 2, backend="csr")
+    assert isinstance(p2, CSRGraph)
+    assert sorted(p2.neighbors(0)) == [1, 2]
+    assert p2.m == power_graph(g, 2, backend="dict").m
+    with pytest.raises(GraphError):
+        power_graph(g, 0, backend="csr")
+
+    assert diameter_of_component(g, g.vertices(), backend="csr") == 4
+    broken = MultiGraph.with_vertices(3)
+    broken.add_edge(0, 1)
+    with pytest.raises(GraphError):
+        diameter_of_component(broken, [0, 1, 2], backend="csr")
+    assert connected_components(broken, backend="csr") == [[0, 1], [2]]
+
+
 def test_spanning_tree_edges():
     g = cycle_graph(5)
     tree = spanning_tree_edges(g, g.vertices())
