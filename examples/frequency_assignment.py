@@ -13,10 +13,9 @@ Run:  python examples/frequency_assignment.py
 import math
 from collections import Counter
 
-from repro.core import list_forest_decomposition
+from repro import DecompositionConfig, decompose
 from repro.graph.generators import skewed_palettes, union_of_random_forests
 from repro.nashwilliams import exact_arboricity
-from repro.verify import check_forest_decomposition, check_palettes_respected
 
 
 def main() -> None:
@@ -36,11 +35,14 @@ def main() -> None:
     print(f"allowed list size per link: {list_size} "
           f"(hot-band contention on half of each list)\n")
 
-    result = list_forest_decomposition(
-        graph, palettes, epsilon, alpha=alpha, seed=9
+    # validation="full" re-derives both guarantees independently right
+    # inside the dispatcher: acyclicity per frequency AND per-link
+    # palette membership.
+    config = DecompositionConfig(
+        epsilon=epsilon, alpha=alpha, seed=9, validation="full"
     )
-    check_forest_decomposition(graph, result.coloring)
-    check_palettes_respected(result.coloring, palettes)
+    result = decompose(graph, task="list_forest", config=config,
+                       palettes=palettes)
 
     usage = Counter(result.coloring.values())
     print(f"assignment found: {len(usage)} distinct frequencies in use")

@@ -1,7 +1,8 @@
 """Running genuine LOCAL-model node programs under the simulator.
 
 The heavy decompositions in this library run centrally with
-locality-faithful round *charging*; the primitive building blocks also
+locality-faithful round *charging* (see ``repro.decompose`` /
+``repro.Session`` for that API); the primitive building blocks also
 exist as real message-passing node programs.  This example runs both
 and cross-checks them: the H-partition peeling (Theorem 2.1(1)) and
 Cole-Vishkin tree 3-coloring, as genuinely distributed algorithms.

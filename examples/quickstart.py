@@ -1,12 +1,14 @@
-"""Quickstart: decompose a multigraph into (1+ε)α forests.
+"""Quickstart: the unified decomposition API in one sitting.
+
+One config, one dispatcher, one result protocol — and a Session that
+pays graph prep (CSR snapshot, exact arboricity) once across queries.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import forest_decomposition
+from repro import DecompositionConfig, Session
 from repro.graph.generators import union_of_random_forests
-from repro.nashwilliams import exact_arboricity
-from repro.verify import check_forest_decomposition, forest_diameter_of_coloring
+from repro.verify import forest_diameter_of_coloring
 
 
 def main() -> None:
@@ -15,21 +17,41 @@ def main() -> None:
     graph = union_of_random_forests(80, 4, seed=42)
     print(f"graph: n={graph.n}, m={graph.m}")
 
-    alpha = exact_arboricity(graph)
-    print(f"exact arboricity (Nash-Williams / Gabow-Westermann): {alpha}")
+    # A Session caches graph prep across queries; the exact arboricity
+    # (Nash-Williams / Gabow-Westermann ground truth) is computed once
+    # here and reused by every task below.
+    session = Session(graph)
+    print(f"exact arboricity (Nash-Williams / Gabow-Westermann): "
+          f"{session.arboricity()}")
 
-    # The paper's main algorithm: Theorem 4.6, with forest diameters
-    # bounded via Corollary 2.5.
-    result = forest_decomposition(
-        graph, epsilon=0.5, alpha=alpha, diameter_mode="auto", seed=7
+    # One shared config for everything: epsilon budget, seed,
+    # diameter bounding via Corollary 2.5, post-run validation by the
+    # independent checkers in repro.verify.
+    config = DecompositionConfig(
+        epsilon=0.5, seed=7, diameter_mode="auto", validation="basic"
     )
 
-    check_forest_decomposition(graph, result.coloring)  # independent check
+    # The paper's main algorithm: Theorem 4.6.
+    result = session.decompose("forest", config)
     print(f"forests used: {result.colors_used}  "
           f"(budget (1+eps)alpha = {result.color_budget})")
     print(f"max forest diameter: "
           f"{forest_diameter_of_coloring(graph, result.coloring)}")
     print(f"charged LOCAL rounds: {result.rounds.total}")
+
+    # Every result speaks the same protocol.
+    forests = result.forests()
+    print(f"result protocol: {len(forests)} color classes, "
+          f"coloring_array shape {result.coloring_array().shape}, "
+          f"to_json() keys {sorted(result.to_json())[:4]}...")
+
+    # A second query on the same session reuses the cached snapshot and
+    # arboricity — N queries on one graph pay graph-prep once.
+    orient = session.decompose("orientation", config)
+    print(f"\nsecond query (Corollary 1.1 orientation) on the same "
+          f"session: out-degree bound {orient.bound}")
+    print(f"session cache hits/misses: {session.cache_info()}")
+
     print()
     print("per-phase round accounting:")
     print(result.rounds.report())

@@ -12,24 +12,27 @@ Run:  python examples/social_network_orientation.py
 
 from collections import Counter
 
-from repro import low_outdegree_orientation
+from repro import DecompositionConfig, Session
 from repro.graph.generators import preferential_attachment
-from repro.nashwilliams import exact_arboricity, out_degrees
+from repro.nashwilliams import out_degrees
 from repro.verify import check_orientation
 
 
 def main() -> None:
     # Preferential attachment: heavy-tailed degrees, tiny arboricity.
     graph = preferential_attachment(300, out_degree=3, seed=11)
-    alpha = exact_arboricity(graph)
+    # One session serves both method runs below: the exact arboricity
+    # and pseudoarboricity ground truths are computed once and reused.
+    session = Session(graph)
+    alpha = session.arboricity()
     hub_degree = graph.max_degree()
     print(f"social graph: n={graph.n}, m={graph.m}, "
           f"max degree={hub_degree}, arboricity={alpha}")
 
+    config = DecompositionConfig(epsilon=0.5, alpha=alpha, seed=3)
     for method in ("augmentation", "hpartition"):
-        orientation, bound = low_outdegree_orientation(
-            graph, epsilon=0.5, alpha=alpha, method=method, seed=3
-        )
+        result = session.decompose("orientation", config, method=method)
+        orientation, bound = result.orientation, result.bound
         observed = check_orientation(graph, orientation, bound)
         label = {
             "augmentation": "paper (Cor 1.1, (1+eps)alpha)",

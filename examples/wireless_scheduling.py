@@ -21,24 +21,28 @@ sweeps alpha to expose the crossover, which is the theorem's content.
 Run:  python examples/wireless_scheduling.py
 """
 
-from repro import star_forest_decomposition
+from repro import DecompositionConfig, Session
 from repro.core import two_coloring_star_forests
 from repro.graph.generators import union_of_random_forests
-from repro.nashwilliams import exact_arboricity, exact_forest_decomposition
+from repro.nashwilliams import exact_forest_decomposition
 from repro.verify import check_star_forest_decomposition
 
 
 def schedule_lengths(n: int, alpha: int, epsilon: float, seed: int):
     graph = union_of_random_forests(n, alpha, seed=seed, simple=True)
-    true_alpha = exact_arboricity(graph)
+    # Both schedules query the same graph; the session computes the
+    # exact arboricity once and shares it.
+    session = Session(graph)
+    true_alpha = session.arboricity()
 
     baseline = two_coloring_star_forests(
         graph, exact_forest_decomposition(graph)
     )
     baseline_rounds = check_star_forest_decomposition(graph, baseline)
 
-    result = star_forest_decomposition(
-        graph, epsilon=epsilon, alpha=true_alpha, seed=seed
+    result = session.decompose(
+        "star_forest",
+        DecompositionConfig(epsilon=epsilon, alpha=true_alpha, seed=seed),
     )
     paper_rounds = check_star_forest_decomposition(graph, result.coloring)
     return graph, true_alpha, baseline_rounds, paper_rounds, result

@@ -4,19 +4,44 @@ Usage examples::
 
     python -m repro stats graph.txt
     python -m repro fd graph.txt --epsilon 0.5 --out coloring.txt
-    python -m repro sfd graph.txt --epsilon 0.25
-    python -m repro orient graph.txt --method augmentation
+    python -m repro sfd graph.txt --epsilon 0.25 --backend csr
+    python -m repro orient graph.txt --method augmentation --json
+    python -m repro decompose graph.txt --task forest --json
+    python -m repro decompose graph.txt --task list_forest \\
+        --palettes palettes.txt --epsilon 1.0
     python -m repro generate forest-union --n 100 --alpha 4 --out graph.txt
 
-Graphs are plain edge lists (see :mod:`repro.graph.io`).
+Graphs are plain edge lists (see :mod:`repro.graph.io`).  Every
+decomposition subcommand takes ``--backend auto|dict|csr`` (graph
+substrate) and ``--json`` (print the structured ``to_json()`` payload
+— colors, stats, config, round accounting — instead of the human
+report, so downstream tooling stops parsing printed text).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .graph.io import read_edge_list, write_coloring, write_edge_list
+from .graph.io import (
+    read_edge_list,
+    read_palettes,
+    write_coloring,
+    write_edge_list,
+    write_result_json,
+)
+
+# Built-in task names, for --help only; validation happens in the task
+# registry so CLI users can run third-party register_task() tasks too.
+BUILTIN_TASKS = (
+    "forest",
+    "star_forest",
+    "list_forest",
+    "list_star_forest",
+    "pseudoforest",
+    "orientation",
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -25,9 +50,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=int, default=None,
                         help="arboricity if known (else computed exactly)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default="auto",
+                        help="graph substrate: auto|dict|csr or any "
+                        "registered backend (default: auto)")
     parser.add_argument("--out", default=None, help="write coloring here")
+    parser.add_argument("--json", action="store_true",
+                        help="print the structured result (to_json()) "
+                        "instead of the human report")
     parser.add_argument("--report", action="store_true",
                         help="print a validity + statistics report")
+
+
+def _emit_result(result, args, kind: str) -> None:
+    """Shared --json/--out handling for the decomposition commands."""
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    if args.out:
+        if args.out.endswith(".json"):
+            write_result_json(result, args.out)
+        else:
+            write_coloring(result.coloring, args.out)
+        if not args.json:
+            print(f"{kind} written to {args.out}")
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -51,19 +95,18 @@ def _cmd_fd(args: argparse.Namespace) -> int:
     result = forest_decomposition(
         graph, epsilon=args.epsilon, alpha=args.alpha,
         diameter_mode="auto" if args.bounded_diameter else None,
-        seed=args.seed,
+        seed=args.seed, backend=args.backend,
     )
     check_forest_decomposition(graph, result.coloring)
-    print(f"forests used: {result.colors_used} "
-          f"(budget (1+eps)alpha = {result.color_budget})")
-    print(f"charged LOCAL rounds: {result.rounds.total}")
+    if not args.json:
+        print(f"forests used: {result.colors_used} "
+              f"(budget (1+eps)alpha = {result.color_budget})")
+        print(f"charged LOCAL rounds: {result.rounds.total}")
     if args.report:
         from .verify import summarize_decomposition
 
         print(summarize_decomposition(graph, result.coloring, "forest"))
-    if args.out:
-        write_coloring(result.coloring, args.out)
-        print(f"coloring written to {args.out}")
+    _emit_result(result, args, "coloring")
     return 0
 
 
@@ -73,36 +116,105 @@ def _cmd_sfd(args: argparse.Namespace) -> int:
 
     graph = read_edge_list(args.graph)
     result = star_forest_decomposition(
-        graph, epsilon=args.epsilon, alpha=args.alpha, seed=args.seed
+        graph, epsilon=args.epsilon, alpha=args.alpha, seed=args.seed,
+        backend=args.backend,
     )
     count = check_star_forest_decomposition(graph, result.coloring)
-    print(f"star forests used: {count}")
-    print(f"max matching deficit: {result.stats.max_deficit}")
-    print(f"charged LOCAL rounds: {result.rounds.total}")
+    if not args.json:
+        print(f"star forests used: {count}")
+        print(f"max matching deficit: {result.stats.max_deficit}")
+        print(f"charged LOCAL rounds: {result.rounds.total}")
     if args.report:
         from .verify import summarize_decomposition
 
         print(summarize_decomposition(graph, result.coloring, "star"))
-    if args.out:
-        write_coloring(result.coloring, args.out)
-        print(f"coloring written to {args.out}")
+    _emit_result(result, args, "coloring")
     return 0
 
 
 def _cmd_orient(args: argparse.Namespace) -> int:
-    from .core.api import low_outdegree_orientation
+    from .core import decompose, DecompositionConfig
     from .verify import check_orientation
 
     graph = read_edge_list(args.graph)
-    orientation, bound = low_outdegree_orientation(
-        graph, epsilon=args.epsilon, alpha=args.alpha,
-        method=args.method, seed=args.seed,
+    config = DecompositionConfig(
+        epsilon=args.epsilon, alpha=args.alpha, seed=args.seed,
+        backend=args.backend,
     )
-    observed = check_orientation(graph, orientation, bound)
-    print(f"out-degree bound: {bound} (observed max: {observed})")
-    if args.out:
-        write_coloring(orientation, args.out)
-        print(f"orientation (edge -> tail) written to {args.out}")
+    result = decompose(
+        graph, task="orientation", config=config, method=args.method
+    )
+    observed = check_orientation(graph, result.orientation, result.bound)
+    if not args.json:
+        print(f"out-degree bound: {result.bound} "
+              f"(observed max: {observed})")
+    _emit_result(result, args, "orientation (edge -> tail)")
+    return 0
+
+
+# Which optional CLI knobs each task's runner understands; forwarding
+# them blindly would hit the runner as an unexpected keyword argument.
+_TASKS_WITH_METHOD = ("orientation", "pseudoforest", "list_star_forest")
+_TASKS_WITH_PALETTES = ("list_forest", "list_star_forest")
+_REPORT_KIND = {
+    "forest": "forest",
+    "list_forest": "forest",
+    "star_forest": "star",
+    "list_star_forest": "star",
+    "pseudoforest": "pseudoforest",
+}
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    """The unified entry point: any registered task, one config."""
+    from .core import decompose, DecompositionConfig
+
+    graph = read_edge_list(args.graph)
+    config = DecompositionConfig(
+        epsilon=args.epsilon,
+        alpha=args.alpha,
+        seed=args.seed,
+        backend=args.backend,
+        diameter_mode=args.diameter_mode,
+        cut_rule=args.cut_rule,
+        validation=args.validation,
+    )
+    from .core.registry import get_task
+    from .errors import RegistryError
+
+    try:
+        get_task(args.task)
+    except RegistryError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.method:
+        if args.task not in _TASKS_WITH_METHOD:
+            print(f"--method does not apply to task {args.task!r} "
+                  f"(only {', '.join(_TASKS_WITH_METHOD)})", file=sys.stderr)
+            return 2
+        kwargs["method"] = args.method
+    if args.palettes:
+        if args.task not in _TASKS_WITH_PALETTES:
+            print(f"--palettes does not apply to task {args.task!r} "
+                  f"(only {', '.join(_TASKS_WITH_PALETTES)})", file=sys.stderr)
+            return 2
+        kwargs["palettes"] = read_palettes(args.palettes)
+    result = decompose(graph, task=args.task, config=config, **kwargs)
+    if not args.json:
+        print(f"task: {args.task}")
+        print(f"colors used: {result.num_colors()}")
+        if result.rounds is not None:
+            print(f"charged LOCAL rounds: {result.rounds.total}")
+    if args.report:
+        kind = _REPORT_KIND.get(args.task)
+        if kind is not None:
+            from .verify import summarize_decomposition
+
+            print(summarize_decomposition(graph, result.coloring, kind))
+        else:
+            print("(no summary report for this task; see --json)")
+    _emit_result(result, args, "result")
     return 0
 
 
@@ -161,6 +273,34 @@ def main(argv=None) -> int:
         choices=("augmentation", "hpartition", "exact"),
     )
     p_orient.set_defaults(func=_cmd_orient)
+
+    p_dec = sub.add_parser(
+        "decompose",
+        help="unified dispatcher: any registered task, one shared config",
+    )
+    _add_common(p_dec)
+    # epsilon=None lets each task's conventional default resolve
+    # (0.5 forest, 0.25 star_forest, 0.05 list_star_forest, ...);
+    # an explicit --epsilon still wins.
+    p_dec.set_defaults(epsilon=None)
+    p_dec.add_argument(
+        "--task", default="forest",
+        help="a registered task name; built-ins: "
+        + "|".join(BUILTIN_TASKS) + " (default: forest)",
+    )
+    p_dec.add_argument("--palettes", default=None,
+                       help="palette file for the list tasks "
+                       "(see repro.graph.io.read_palettes)")
+    p_dec.add_argument("--method", default=None,
+                       help="task-specific method (e.g. orientation: "
+                       "augmentation|hpartition|exact; LSFD: amr|hpartition)")
+    p_dec.add_argument("--diameter-mode", default=None,
+                       choices=("safe", "strong", "auto"))
+    p_dec.add_argument("--cut-rule", default="depth_residue",
+                       choices=("depth_residue", "conditioned_sampling"))
+    p_dec.add_argument("--validation", default="basic",
+                       choices=("none", "basic", "full"))
+    p_dec.set_defaults(func=_cmd_decompose)
 
     p_gen = sub.add_parser("generate", help="generate a workload graph")
     p_gen.add_argument(

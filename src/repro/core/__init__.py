@@ -1,7 +1,24 @@
-"""Core: the paper's primary contribution (Sections 3, 4, 5)."""
+"""Core: the paper's primary contribution (Sections 3, 4, 5), plus the
+unified decomposition API (config / result protocol / registry /
+session)."""
 
 from . import api
 from .algorithm_stats import ListForestStats, StarForestStats
+from .config import DecompositionConfig
+from .registry import (
+    BackendSpec,
+    TaskSpec,
+    available_backends,
+    available_tasks,
+    register_backend,
+    register_task,
+)
+from .results import (
+    DecompositionResult,
+    OrientationResult,
+    PseudoforestResult,
+)
+from .session import Session, decompose
 from .augmenting import (
     AugmentationStats,
     apply_augmentation,
@@ -46,6 +63,18 @@ from .star_forest import (
 
 __all__ = [
     "api",
+    "decompose",
+    "Session",
+    "DecompositionConfig",
+    "DecompositionResult",
+    "OrientationResult",
+    "PseudoforestResult",
+    "TaskSpec",
+    "BackendSpec",
+    "register_task",
+    "register_backend",
+    "available_tasks",
+    "available_backends",
     "PartialListForestDecomposition",
     "AugmentationStats",
     "find_almost_augmenting_sequence",

@@ -1,8 +1,24 @@
 """High-level public API.
 
 These wrappers are what downstream users should call; each maps to one
-headline result of the paper and returns both the decomposition and its
-accounting (colors used, LOCAL rounds charged, diagnostics).
+headline result of the paper.  Since the unified-API redesign they are
+thin shims over the task registry: every call builds a
+:class:`~repro.core.config.DecompositionConfig` and dispatches through
+:func:`repro.decompose`, so the wrappers, the
+:class:`~repro.core.session.Session` workflow, and the CLI all share
+one code path (and one ``backend=`` seam).  Return shapes are
+unchanged — result objects where they always were, ``(coloring,
+bound)`` tuples where they always were — so existing code and the
+golden regressions are untouched.
+
+For repeated queries against one graph prefer::
+
+    session = repro.Session(graph)
+    fd = session.decompose("forest", config)
+    orient = session.decompose("orientation", config)   # reuses prep
+
+which pays the graph-prep phase (CSR snapshot, exact arboricity /
+pseudoarboricity) once.
 """
 
 from __future__ import annotations
@@ -20,27 +36,39 @@ from ..rng import SeedLike
 from ..decomposition.hpartition import (
     default_threshold,
     h_partition,
-    star_forest_decomposition_via_hpartition,
 )
-from ..decomposition.lsfd import (
-    list_star_forest_decomposition as _lsfd_theorem23,
-)
+from .config import DecompositionConfig
 from .forest_decomposition import (
-    Algorithm2Result,
     ForestDecompositionResult,
     algorithm2,
-    forest_decomposition_algorithm2,
 )
-from .list_forest import ListForestDecompositionResult, list_forest_decomposition
-from .orientation import low_outdegree_orientation
-from .star_forest import (
-    StarForestResult,
-    list_star_forest_decomposition_amr,
-    star_forest_decomposition_amr,
-    two_coloring_star_forests,
+from .list_forest import ListForestDecompositionResult
+from .orientation import Orientation
+from .registry import (
+    available_backends,
+    available_tasks,
+    register_backend,
+    register_task,
 )
+from .results import (
+    DecompositionResult,
+    OrientationResult,
+    PseudoforestResult,
+)
+from .session import Session, decompose
+from .star_forest import StarForestResult, two_coloring_star_forests
 
 __all__ = [
+    # unified surface
+    "decompose",
+    "Session",
+    "DecompositionConfig",
+    "DecompositionResult",
+    "register_task",
+    "register_backend",
+    "available_tasks",
+    "available_backends",
+    # task wrappers (legacy shapes, registry-backed)
     "forest_decomposition",
     "list_forest_decomposition",
     "star_forest_decomposition",
@@ -48,11 +76,18 @@ __all__ = [
     "pseudoforest_decomposition",
     "low_outdegree_orientation",
     "barenboim_elkin_forest_decomposition",
+    # ground truth + building blocks
     "exact_arboricity",
     "exact_forest_decomposition",
     "exact_pseudoarboricity",
     "algorithm2",
     "two_coloring_star_forests",
+    # result classes
+    "ForestDecompositionResult",
+    "ListForestDecompositionResult",
+    "StarForestResult",
+    "OrientationResult",
+    "PseudoforestResult",
 ]
 
 
@@ -64,6 +99,7 @@ def forest_decomposition(
     cut_rule: str = "depth_residue",
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "auto",
 ) -> ForestDecompositionResult:
     """(1+ε)α forest decomposition of a multigraph (Theorem 4.6).
 
@@ -83,19 +119,51 @@ def forest_decomposition(
     cut_rule:
         CUT implementation per Theorem 4.2: ``"depth_residue"`` or
         ``"conditioned_sampling"``.
+    backend:
+        Graph substrate: ``"auto"`` (default), ``"dict"`` (reference),
+        ``"csr"`` (kernel), or any registered backend name.
 
     Returns a :class:`ForestDecompositionResult` whose ``coloring`` maps
     every edge id to a forest index, with ``colors_used`` and charged
-    LOCAL ``rounds``.
+    LOCAL ``rounds``; the result implements the uniform protocol
+    (``forests()``, ``coloring_array()``, ``validate()``, ``to_json()``).
     """
-    return forest_decomposition_algorithm2(
-        graph,
-        epsilon,
-        alpha=alpha,
+    config = DecompositionConfig(
+        epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
+        diameter_mode=diameter_mode, cut_rule=cut_rule,
+    )
+    return decompose(graph, task="forest", config=config, rounds=rounds)
+
+
+def list_forest_decomposition(
+    graph: MultiGraph,
+    palettes: Dict[int, Sequence[int]],
+    epsilon: float,
+    alpha: Optional[int] = None,
+    splitting: str = "cluster",
+    cut_rule: str = "depth_residue",
+    reserve_probability: Optional[float] = None,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+    radius: Optional[int] = None,
+    search_radius: Optional[int] = None,
+    backend: str = "auto",
+) -> ListForestDecompositionResult:
+    """(1+ε)α list-forest decomposition of a multigraph (Theorem 4.10).
+
+    ``palettes`` must give every edge at least ``⌈(1+ε)α⌉`` colors;
+    ``splitting`` chooses the Theorem 4.9 variant (``"cluster"`` or
+    ``"independent"``).
+    """
+    config = DecompositionConfig(
+        epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
         cut_rule=cut_rule,
-        diameter_mode=diameter_mode,
-        seed=seed,
-        rounds=rounds,
+    )
+    return decompose(
+        graph, task="list_forest", config=config, rounds=rounds,
+        palettes=palettes, splitting=splitting,
+        reserve_probability=reserve_probability,
+        radius=radius, search_radius=search_radius,
     )
 
 
@@ -105,12 +173,14 @@ def star_forest_decomposition(
     alpha: Optional[int] = None,
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "auto",
 ) -> StarForestResult:
     """(1+O(ε))α star-forest decomposition of a simple graph
     (Theorem 5.4(1); regime α ≥ Ω(√log Δ + log α))."""
-    return star_forest_decomposition_amr(
-        graph, epsilon, alpha=alpha, seed=seed, rounds=rounds
+    config = DecompositionConfig(
+        epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
     )
+    return decompose(graph, task="star_forest", config=config, rounds=rounds)
 
 
 def list_star_forest_decomposition(
@@ -121,27 +191,20 @@ def list_star_forest_decomposition(
     method: str = "amr",
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "auto",
 ) -> StarForestResult:
     """List star-forest decomposition of a simple graph.
 
     ``method="amr"`` is Theorem 5.4(2) ((1+O(ε))α colors, regime
     α ≥ Ω(log Δ), palettes ≥ α(1+200ε)); ``method="hpartition"`` is the
     Theorem 2.3 fallback ((4+ε)α* colors, any α)."""
-    if method == "amr":
-        return list_star_forest_decomposition_amr(
-            graph, palettes, epsilon, alpha=alpha, seed=seed, rounds=rounds
-        )
-    if method == "hpartition":
-        counter = rounds if rounds is not None else RoundCounter()
-        pseudo = exact_pseudoarboricity(graph)
-        coloring = _lsfd_theorem23(
-            graph, palettes, max(1, pseudo), 0.5, counter
-        )
-        colors_used = len(set(coloring.values()))
-        from .algorithm_stats import StarForestStats
-
-        return StarForestResult(coloring, colors_used, counter, StarForestStats())
-    raise ValueError(f"unknown LSFD method {method!r}")
+    config = DecompositionConfig(
+        epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
+    )
+    return decompose(
+        graph, task="list_star_forest", config=config, rounds=rounds,
+        palettes=palettes, method=method,
+    )
 
 
 def pseudoforest_decomposition(
@@ -151,21 +214,44 @@ def pseudoforest_decomposition(
     method: str = "augmentation",
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "auto",
 ) -> Tuple[Dict[int, int], int]:
     """(1+ε)α pseudoforest decomposition (the Corollary 1.1 companion).
 
     A k-orientation is exactly a k-pseudoforest decomposition: rank each
     vertex's out-edges and each rank class is a functional graph.
     Returns (coloring, number of pseudoforests)."""
-    from ..nashwilliams.pseudoarboricity import (
-        pseudoforest_decomposition_from_orientation,
+    config = DecompositionConfig(
+        epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
     )
+    result = decompose(
+        graph, task="pseudoforest", config=config, rounds=rounds,
+        method=method,
+    )
+    return result.coloring, result.k
 
-    orientation, bound = low_outdegree_orientation(
-        graph, epsilon, alpha=alpha, method=method, seed=seed, rounds=rounds
+
+def low_outdegree_orientation(
+    graph: MultiGraph,
+    epsilon: float,
+    alpha: Optional[int] = None,
+    method: str = "augmentation",
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+    backend: str = "auto",
+) -> Tuple[Orientation, int]:
+    """A (1+ε)α-orientation (Corollary 1.1); returns (orientation,
+    out-degree bound).  ``method`` is ``"augmentation"`` (the paper),
+    ``"hpartition"`` (the (2+ε)α* baseline) or ``"exact"`` (flow
+    witness ground truth)."""
+    config = DecompositionConfig(
+        epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
     )
-    coloring = pseudoforest_decomposition_from_orientation(graph, orientation)
-    return coloring, bound
+    result = decompose(
+        graph, task="orientation", config=config, rounds=rounds,
+        method=method,
+    )
+    return result.orientation, result.bound
 
 
 def barenboim_elkin_forest_decomposition(
@@ -173,13 +259,18 @@ def barenboim_elkin_forest_decomposition(
     epsilon: float = 0.5,
     pseudoarboricity: Optional[int] = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "auto",
 ) -> Tuple[Dict[int, int], int]:
     """The (2+ε)α baseline the paper improves on ([BE10] / Theorem 2.1).
 
     Returns (coloring, number of forests).  The coloring is the
     H-partition t-forest decomposition with t = ⌊(2+ε)α*⌋ (each
     vertex's out-edges get distinct forest labels)."""
-    counter = rounds if rounds is not None else RoundCounter()
+    from ..graph.csr import resolve_backend, snapshot_of
+    from ..errors import DecompositionError
+    from ..local.rounds import ensure_counter
+
+    counter = ensure_counter(rounds)
     if pseudoarboricity is None:
         pseudoarboricity = exact_pseudoarboricity(graph)
     threshold = max(1, default_threshold(pseudoarboricity, epsilon))
@@ -187,11 +278,15 @@ def barenboim_elkin_forest_decomposition(
         acyclic_orientation,
         rooted_forests_from_orientation,
     )
-    from ..graph.csr import CSRGraph
 
-    snapshot = CSRGraph.from_multigraph(graph)
-    partition = h_partition(graph, threshold, counter, snapshot=snapshot)
-    orientation = acyclic_orientation(graph, partition, counter, snapshot=snapshot)
+    peel_backend = resolve_backend(graph, backend, DecompositionError)
+    snapshot = snapshot_of(graph) if peel_backend == "csr" else None
+    partition = h_partition(
+        graph, threshold, counter, backend=peel_backend, snapshot=snapshot
+    )
+    orientation = acyclic_orientation(
+        graph, partition, counter, backend=peel_backend, snapshot=snapshot
+    )
     forests = rooted_forests_from_orientation(graph, orientation)
     coloring: Dict[int, int] = {}
     for label, eids in enumerate(forests):

@@ -44,6 +44,7 @@ from .augmenting import AugmentationStats, augment_edge
 from .cut import CutController, is_cut_good
 from .diameter_reduction import reduce_diameter
 from .partial_coloring import PartialListForestDecomposition
+from .results import DecompositionResult
 
 Palettes = Dict[int, Sequence[int]]
 
@@ -116,6 +117,7 @@ def algorithm2(
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     strict_locality: bool = False,
+    backend: str = "auto",
 ) -> Algorithm2Result:
     """Run Algorithm 2 on ``graph`` with the given per-edge palettes.
 
@@ -133,11 +135,19 @@ def algorithm2(
     strict_locality:
         If True, a failed radius-capped augmenting search raises instead
         of falling back to an uncapped search.
+    backend:
+        Graph substrate for the traversal / network-decomposition /
+        color-class phases: ``"auto"`` (default, kernel-backed),
+        ``"dict"`` (the byte-identical reference paths throughout), or
+        ``"csr"``.  Outputs are identical across backends (certified by
+        the kernel-equivalence suite).
     """
+    if backend not in ("auto", "dict", "csr"):
+        raise DecompositionError(f"unknown backend {backend!r}")
     counter = ensure_counter(rounds)
     rng = make_rng(seed)
     stats = Algorithm2Stats()
-    state = PartialListForestDecomposition(graph, palettes)
+    state = PartialListForestDecomposition(graph, palettes, backend=backend)
     if graph.m == 0:
         return Algorithm2Result(state, stats, counter)
 
@@ -149,16 +159,19 @@ def algorithm2(
     stats.search_radius = r_prime
     d = r + r_prime
 
+    peel_backend = "dict" if backend == "dict" else "csr"
     orientation_j = None
     if cut_rule == "conditioned_sampling":
         with counter.phase("orientation J"):
             pseudo = exact_pseudoarboricity(graph)
-            snapshot = state.csr_snapshot()
+            snapshot = None if peel_backend == "dict" else state.csr_snapshot()
             partition = h_partition(
-                graph, max(1, 3 * pseudo), counter, snapshot=snapshot
+                graph, max(1, 3 * pseudo), counter,
+                backend=peel_backend, snapshot=snapshot,
             )
             orientation_j = acyclic_orientation(
-                graph, partition, counter, snapshot=snapshot
+                graph, partition, counter,
+                backend=peel_backend, snapshot=snapshot,
             )
 
     controller = CutController(
@@ -179,10 +192,17 @@ def algorithm2(
         # ball carving consumes it on the same arrays.  Clusters are
         # identical to the dict reference path (kernel-equivalence
         # suite + golden regression certify this).
-        power = power_graph(
-            state.csr_snapshot(), max(1, min(2 * d, 2 * n)), backend="csr"
+        if peel_backend == "dict":
+            power = power_graph(
+                graph, max(1, min(2 * d, 2 * n)), backend="dict"
+            )
+        else:
+            power = power_graph(
+                state.csr_snapshot(), max(1, min(2 * d, 2 * n)), backend="csr"
+            )
+        nd = network_decomposition(
+            power, counter, radius_cost=2 * d, backend=peel_backend
         )
-        nd = network_decomposition(power, counter, radius_cost=2 * d)
 
     log_n = max(1, math.ceil(math.log2(n + 1)))
     with counter.phase("cluster processing"):
@@ -258,8 +278,15 @@ def _process_cluster(
 # ----------------------------------------------------------------------
 
 
-class ForestDecompositionResult:
-    """Final (1+ε)α-FD: coloring + provenance + accounting."""
+class ForestDecompositionResult(DecompositionResult):
+    """Final (1+ε)α-FD: coloring + provenance + accounting.
+
+    Implements the uniform result protocol
+    (:class:`~repro.core.results.DecompositionResult`): ``forests()``,
+    ``coloring_array()``, ``validate()``, ``to_json()``.
+    """
+
+    kind = "forest"
 
     def __init__(
         self,
@@ -297,6 +324,7 @@ def forest_decomposition_algorithm2(
     rounds: Optional[RoundCounter] = None,
     radius: Optional[int] = None,
     search_radius: Optional[int] = None,
+    backend: str = "auto",
 ) -> ForestDecompositionResult:
     """Theorem 4.6: a (1+ε)α-forest decomposition of a multigraph.
 
@@ -331,16 +359,19 @@ def forest_decomposition_algorithm2(
             search_radius=search_radius,
             seed=child_rng(rng, "alg2"),
             rounds=counter,
+            backend=backend,
         )
 
     coloring: Dict[int, int] = dict(result.colored)
     next_color = base_colors
     leftover = result.leftover
 
+    peel_backend = "dict" if backend == "dict" else "csr"
     with counter.phase("leftover recoloring"):
         next_color = _recolor_fresh(
             graph, leftover, coloring, next_color, counter,
             as_star_forests=diameter_mode is not None,
+            backend=peel_backend,
         )
 
     if diameter_mode is not None:
@@ -362,6 +393,7 @@ def forest_decomposition_algorithm2(
                 next_color,
                 counter,
                 as_star_forests=True,
+                backend=peel_backend,
             )
 
     colors_used = len(set(coloring.values()))
@@ -384,6 +416,7 @@ def _recolor_fresh(
     next_color: int,
     counter: RoundCounter,
     as_star_forests: bool,
+    backend: str = "csr",
 ) -> int:
     """Color ``eids`` with fresh colors starting at ``next_color`` via
     Theorem 2.1; returns the next unused color index."""
@@ -392,7 +425,7 @@ def _recolor_fresh(
     sub = graph.edge_subgraph(eids)
     pseudo = max(1, exact_pseudoarboricity(sub))
     threshold = max(1, math.floor(2.5 * pseudo))
-    partition = h_partition(sub, threshold, counter)
+    partition = h_partition(sub, threshold, counter, backend=backend)
     if as_star_forests:
         star = star_forest_decomposition_via_hpartition(sub, partition, counter)
         labels = sorted(set(star.values()))

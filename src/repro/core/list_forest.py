@@ -35,22 +35,32 @@ from .color_splitting import (
 )
 from .diameter_reduction import reduce_diameter
 from .forest_decomposition import algorithm2
+from .results import DecompositionResult
 
 Palettes = Dict[int, Sequence[int]]
 
 
-class ListForestDecompositionResult:
-    """Final LFD: coloring + accounting."""
+class ListForestDecompositionResult(DecompositionResult):
+    """Final LFD: coloring + accounting.
+
+    Implements the uniform result protocol
+    (:class:`~repro.core.results.DecompositionResult`); validates as a
+    forest decomposition, plus palette membership at ``level="full"``.
+    """
+
+    kind = "forest"
 
     def __init__(
         self,
         coloring: Dict[int, int],
         rounds: RoundCounter,
         stats: ListForestStats,
+        graph: Optional[MultiGraph] = None,
     ) -> None:
         self.coloring = coloring
         self.rounds = rounds
         self.stats = stats
+        self.graph = graph
 
 
 def list_forest_decomposition(
@@ -65,6 +75,7 @@ def list_forest_decomposition(
     rounds: Optional[RoundCounter] = None,
     radius: Optional[int] = None,
     search_radius: Optional[int] = None,
+    backend: str = "auto",
 ) -> ListForestDecompositionResult:
     """Theorem 4.10: (1+ε)α-LFD of a multigraph.
 
@@ -77,7 +88,7 @@ def list_forest_decomposition(
     rng = make_rng(seed)
     stats = ListForestStats()
     if graph.m == 0:
-        return ListForestDecompositionResult({}, counter, stats)
+        return ListForestDecompositionResult({}, counter, stats, graph=graph)
     if alpha is None:
         alpha = exact_arboricity(graph)
 
@@ -111,6 +122,7 @@ def list_forest_decomposition(
                 search_radius=search_radius,
                 seed=child_rng(rng, "alg2"),
                 rounds=counter,
+                backend=backend,
             )
         coloring_0 = dict(result.colored)
         leftover = set(result.leftover)
@@ -143,7 +155,7 @@ def list_forest_decomposition(
         break
 
     combined = combine_colorings(coloring_0, coloring_1)
-    return ListForestDecompositionResult(combined, counter, stats)
+    return ListForestDecompositionResult(combined, counter, stats, graph=graph)
 
 
 def _make_splitting(

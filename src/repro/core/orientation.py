@@ -18,7 +18,7 @@ import math
 from typing import Dict, Optional, Tuple
 
 from ..errors import DecompositionError
-from ..graph.csr import CSRGraph, rooted_forest_arrays
+from ..graph.csr import resolve_backend, rooted_forest_arrays, snapshot_of
 from ..graph.forests import color_classes
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
@@ -48,7 +48,7 @@ def orientation_from_forest_decomposition(
     where D is the largest tree diameter (the paper's conversion cost).
     """
     counter = ensure_counter(rounds)
-    snapshot = CSRGraph.from_multigraph(graph)
+    snapshot = snapshot_of(graph)
     orientation: Orientation = {}
     worst_depth = 0
     for _color, eids in sorted(color_classes(coloring).items()):
@@ -73,7 +73,8 @@ def low_outdegree_orientation(
     method: str = "augmentation",
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
-    backend: str = "csr",
+    backend: str = "auto",
+    pseudoarboricity: Optional[int] = None,
 ) -> Tuple[Orientation, int]:
     """A (1+ε)α-orientation; returns (orientation, out-degree bound).
 
@@ -85,9 +86,11 @@ def low_outdegree_orientation(
     * ``"hpartition"`` — the (2+ε)α* baseline of Theorem 2.1(2).
     * ``"exact"`` — centralized flow witness at ⌈(1+ε)α⌉ (ground truth).
 
-    ``backend`` selects the graph substrate for the ``"hpartition"``
-    method (``"csr"`` kernel vs ``"dict"`` reference); the other
-    methods ignore it.
+    ``backend`` selects the graph substrate (``"csr"`` kernel,
+    ``"dict"`` reference, or ``"auto"``); the ``"exact"`` method
+    ignores it.  ``pseudoarboricity`` lets callers (e.g. a
+    :class:`~repro.core.session.Session`) inject the memoized exact
+    value for the ``"hpartition"`` method instead of recomputing it.
     """
     counter = ensure_counter(rounds)
     if method == "augmentation":
@@ -98,22 +101,26 @@ def low_outdegree_orientation(
             diameter_mode="auto",
             seed=seed,
             rounds=counter,
+            backend=backend,
         )
         orientation = orientation_from_forest_decomposition(
             graph, result.coloring, counter
         )
         return orientation, result.colors_used
     if method == "hpartition":
-        if backend not in ("csr", "dict"):
-            raise DecompositionError(f"unknown orientation backend {backend!r}")
-        pseudo = exact_pseudoarboricity(graph)
+        peel_backend = resolve_backend(graph, backend, DecompositionError)
+        pseudo = (
+            pseudoarboricity
+            if pseudoarboricity is not None
+            else exact_pseudoarboricity(graph)
+        )
         threshold = max(1, default_threshold(pseudo, epsilon))
-        snapshot = CSRGraph.from_multigraph(graph) if backend == "csr" else None
+        snapshot = snapshot_of(graph) if peel_backend == "csr" else None
         partition = h_partition(
-            graph, threshold, counter, backend=backend, snapshot=snapshot
+            graph, threshold, counter, backend=peel_backend, snapshot=snapshot
         )
         orientation = acyclic_orientation(
-            graph, partition, counter, backend=backend, snapshot=snapshot
+            graph, partition, counter, backend=peel_backend, snapshot=snapshot
         )
         return orientation, threshold
     if method == "exact":

@@ -1,0 +1,307 @@
+"""The uniform result protocol shared by every decomposition task.
+
+Each pipeline historically returned its own shape — a result class
+here, a bare ``(coloring, bound)`` tuple there — so downstream code had
+to know which task it ran to do anything generic (validate, serialize,
+feed a per-color pass).  :class:`DecompositionResult` is the shared
+base: every task run through the registry returns an object exposing
+
+* ``coloring`` — edge id -> color (task-specific color values);
+* :meth:`forests` — the color classes as edge-id lists, in canonical
+  color order;
+* :meth:`coloring_array` — a CSR-aligned numpy view: one dense color
+  index per snapshot edge position (``-1`` = uncolored), so kernel
+  passes can consume a result without dict lookups;
+* :meth:`validate` — the independent :mod:`repro.verify` checker for
+  this result kind;
+* :meth:`to_json` / :meth:`from_json` — structured serialization
+  (colors, stats, accounting), used by ``python -m repro --json``;
+* ``stats`` / ``rounds`` — per-task diagnostics and LOCAL-round
+  accounting.
+
+The existing task results (:class:`~repro.core.forest_decomposition.
+ForestDecompositionResult`, :class:`~repro.core.star_forest.
+StarForestResult`, :class:`~repro.core.list_forest.
+ListForestDecompositionResult`) subclass this base;
+:class:`OrientationResult` and :class:`PseudoforestResult` wrap the
+formerly bare tuple outputs.  The legacy tuple-returning wrappers in
+:mod:`repro.core.api` unwrap them, so nothing downstream moves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..graph.csr import snapshot_of
+
+RESULT_JSON_SCHEMA_VERSION = 1
+
+
+def stats_to_dict(stats: Any) -> Dict[str, Any]:
+    """Best-effort JSON view of a stats object (nested stats recurse)."""
+    if stats is None:
+        return {}
+    if isinstance(stats, dict):
+        source = stats
+    else:
+        source = dict(vars(stats))
+        for name in dir(type(stats)):
+            if name.startswith("_"):
+                continue
+            attr = getattr(type(stats), name, None)
+            if isinstance(attr, property):
+                source[name] = getattr(stats, name)
+    out: Dict[str, Any] = {}
+    for key, value in source.items():
+        if hasattr(value, "__dict__") and not isinstance(value, type):
+            out[key] = stats_to_dict(value)
+        elif isinstance(value, (list, tuple)):
+            out[key] = list(value)
+        else:
+            out[key] = value
+    return out
+
+
+def _color_sort_key(color: Any) -> Tuple:
+    """Deterministic total order over heterogeneous color values.
+
+    Ints order numerically (so forest colors 0..11 keep their natural
+    order — dense index i of :meth:`DecompositionResult.coloring_array`
+    is forest i), strings lexicographically, tuples like ``("amr", 3)``
+    element-wise by the same rule; distinct types group apart."""
+    if isinstance(color, bool):
+        return (1, "", int(color), ())
+    if isinstance(color, int):
+        return (0, "", color, ())
+    if isinstance(color, str):
+        return (2, color, 0, ())
+    if isinstance(color, tuple):
+        return (3, "", 0, tuple(_color_sort_key(part) for part in color))
+    return (4, repr(color), 0, ())
+
+
+def _color_to_json(color: Any) -> Any:
+    """Tuples become lists, recursively (e.g. ``("extra", (0, 1))``);
+    everything else must already be JSON."""
+    if isinstance(color, tuple):
+        return [_color_to_json(part) for part in color]
+    return color
+
+
+def _color_from_json(color: Any) -> Any:
+    if isinstance(color, list):
+        return tuple(_color_from_json(part) for part in color)
+    return color
+
+
+class DecompositionResult:
+    """Base class implementing the uniform result protocol.
+
+    Subclasses set ``kind`` (which selects the :meth:`validate`
+    checker) and may add task-specific attributes; the protocol methods
+    only rely on ``coloring``, ``graph``, ``stats`` and ``rounds``.
+    ``graph`` may be ``None`` for results rebuilt from JSON — the
+    methods that need it then require it as an argument.
+    """
+
+    #: validator dispatch key: "forest", "star_forest", "pseudoforest",
+    #: "orientation" (list variants validate as their base kind plus
+    #: palette membership at level="full").
+    kind: str = "forest"
+
+    coloring: Dict[int, Any]
+    graph: Any = None
+    stats: Any = None
+    rounds: Any = None
+    #: set by the dispatcher so validate(level="full") can check
+    #: palette membership on list tasks
+    palettes: Optional[Dict[int, Sequence[Any]]] = None
+    #: the config the result was produced under (set by the dispatcher)
+    config: Any = None
+
+    # ------------------------------------------------------------------
+    # Color classes
+    # ------------------------------------------------------------------
+
+    def color_order(self) -> List[Any]:
+        """Distinct colors in canonical (deterministic) order."""
+        distinct = {c for c in self.coloring.values() if c is not None}
+        return sorted(distinct, key=_color_sort_key)
+
+    def num_colors(self) -> int:
+        return len({c for c in self.coloring.values() if c is not None})
+
+    def forests(self) -> List[List[int]]:
+        """Color classes as sorted edge-id lists, in canonical color
+        order (parallel to :meth:`color_order`)."""
+        by_color: Dict[Any, List[int]] = {}
+        for eid, color in self.coloring.items():
+            if color is None:
+                continue
+            by_color.setdefault(color, []).append(eid)
+        return [sorted(by_color[c]) for c in self.color_order()]
+
+    def coloring_array(self, snapshot=None) -> np.ndarray:
+        """CSR-aligned color view: ``out[p]`` is the dense color index
+        of the edge at snapshot position ``p`` (-1 = uncolored).
+
+        Positions follow ``snapshot.edge_id`` (MultiGraph insertion
+        order), so the array plugs straight into per-color kernel
+        passes.  Dense indices follow :meth:`color_order`.
+        """
+        if snapshot is None:
+            if self.graph is None:
+                raise ValidationError(
+                    "result is not bound to a graph; pass snapshot="
+                )
+            snapshot = snapshot_of(self.graph)
+        index = {c: i for i, c in enumerate(self.color_order())}
+        out = np.full(snapshot.num_edges, -1, dtype=np.int64)
+        for position, eid in enumerate(snapshot.edge_id.tolist()):
+            color = self.coloring.get(eid)
+            if color is not None:
+                out[position] = index[color]
+        return out
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, level: str = "basic", graph=None) -> "DecompositionResult":
+        """Re-derive this result's guarantee with the independent
+        :mod:`repro.verify` checkers; raises
+        :class:`~repro.errors.ValidationError` on any violation.
+
+        ``level="basic"`` checks structure (acyclicity / star shape /
+        out-degree); ``level="full"`` additionally checks palette
+        membership when the result carries palettes.  Returns ``self``
+        so calls chain.
+        """
+        if level == "none":
+            return self
+        if level not in ("basic", "full"):
+            raise ValidationError(f"unknown validation level {level!r}")
+        graph = graph if graph is not None else self.graph
+        if graph is None:
+            raise ValidationError("result is not bound to a graph; pass graph=")
+        from ..verify import validators as v
+
+        if self.kind == "forest":
+            v.check_forest_decomposition(graph, self.coloring)
+        elif self.kind == "star_forest":
+            v.check_star_forest_decomposition(graph, self.coloring)
+        elif self.kind == "pseudoforest":
+            v.check_pseudoforest_decomposition(graph, self.coloring)
+        elif self.kind == "orientation":
+            v.check_orientation(graph, self.coloring, self.bound)
+        else:
+            raise ValidationError(f"no validator for result kind {self.kind!r}")
+        if level == "full" and self.palettes is not None:
+            v.check_palettes_respected(self.coloring, self.palettes)
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """Structured, JSON-serializable summary: kind, coloring,
+        color/round accounting, stats, and the producing config."""
+        payload: Dict[str, Any] = {
+            "schema_version": RESULT_JSON_SCHEMA_VERSION,
+            "kind": self.kind,
+            "colors_used": self.num_colors(),
+            "rounds": getattr(self.rounds, "total", None),
+            "stats": stats_to_dict(self.stats),
+            "coloring": [
+                [eid, _color_to_json(color)]
+                for eid, color in sorted(
+                    self.coloring.items(),
+                    key=lambda item: (item[0], _color_sort_key(item[1])),
+                )
+                if color is not None
+            ],
+        }
+        for extra in self._json_extras():
+            payload[extra] = getattr(self, extra)
+        if self.config is not None:
+            payload["config"] = self.config.to_json()
+        return payload
+
+    def _json_extras(self) -> Tuple[str, ...]:
+        """Subclass hook: names of extra scalar fields to serialize."""
+        return ()
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any], graph=None) -> "DecompositionResult":
+        """Rebuild a result from :meth:`to_json` output.
+
+        The rebuilt object carries the coloring, kind, stats dict and
+        extras; bind ``graph`` to re-enable :meth:`validate` /
+        :meth:`coloring_array`.
+        """
+        if payload.get("schema_version") != RESULT_JSON_SCHEMA_VERSION:
+            raise ValidationError(
+                f"unsupported result schema {payload.get('schema_version')!r}"
+            )
+        result = DecompositionResult.__new__(DecompositionResult)
+        result.kind = payload["kind"]
+        result.coloring = {
+            int(eid): _color_from_json(color)
+            for eid, color in payload["coloring"]
+        }
+        result.graph = graph
+        result.stats = payload.get("stats", {})
+        result.rounds = None
+        result.palettes = None
+        result.config = None
+        for key in ("bound", "k"):
+            if key in payload:
+                setattr(result, key, payload[key])
+        return result
+
+
+class OrientationResult(DecompositionResult):
+    """A (1+ε)α-orientation (Corollary 1.1) as a protocol result.
+
+    ``coloring`` maps each edge id to its *tail* vertex (the classic
+    orientation encoding); each "color class" is therefore the out-edge
+    star of one vertex.  ``bound`` is the guaranteed max out-degree.
+    """
+
+    kind = "orientation"
+
+    def __init__(self, orientation, bound, rounds=None, stats=None, graph=None):
+        self.coloring = orientation
+        self.bound = bound
+        self.rounds = rounds
+        self.stats = stats
+        self.graph = graph
+
+    @property
+    def orientation(self) -> Dict[int, int]:
+        return self.coloring
+
+    def _json_extras(self) -> Tuple[str, ...]:
+        return ("bound",)
+
+
+class PseudoforestResult(DecompositionResult):
+    """A (1+ε)α pseudoforest decomposition (the Corollary 1.1
+    companion): ``coloring`` maps edge id -> pseudoforest index,
+    ``k`` is the guaranteed pseudoforest count."""
+
+    kind = "pseudoforest"
+
+    def __init__(self, coloring, k, rounds=None, stats=None, graph=None):
+        self.coloring = coloring
+        self.k = k
+        self.rounds = rounds
+        self.stats = stats
+        self.graph = graph
+
+    def _json_extras(self) -> Tuple[str, ...]:
+        return ("k",)

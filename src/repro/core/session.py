@@ -1,0 +1,498 @@
+"""Snapshot-reusing sessions and the :func:`decompose` dispatcher.
+
+The production story of this library is *repeated* decomposition
+queries against one graph: decide a forest decomposition, then an
+orientation, then a star-forest schedule, sweep epsilon for a latency
+budget, ...  Before :class:`Session`, every call re-paid graph prep —
+the CSR snapshot and, far worse, the exact arboricity /
+pseudoarboricity ground truth (Gabow–Westermann matroid machinery) —
+because each wrapper was a standalone function.
+
+A ``Session(graph)`` owns that shared state:
+
+* the cached CSR snapshot (delegating to
+  :func:`~repro.graph.csr.snapshot_of`, so the cache is shared with
+  every internal kernel path);
+* memoized exact arboricity and pseudoarboricity;
+* per-color sub-CSR adjacency extractions (:meth:`Session.sub_csr`),
+  the sharding handle for color-class passes;
+
+all keyed by the graph's mutation fingerprint, so mutating the graph
+transparently invalidates everything and N queries on an unchanged
+graph pay prep once (see ``bench_session`` in
+``benchmarks/bench_kernel.py`` for the measured effect).
+
+Dispatch goes through the task registry: ``session.decompose(task=...)``
+looks the task up, resolves the config (task-default epsilon, memoized
+alpha, backend substrate), runs it, binds the graph/config to the
+result, and optionally validates per ``config.validation``.  The
+module-level :func:`decompose` is the one-shot convenience that makes a
+throwaway session.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..errors import DecompositionError, GraphError, PaletteError, ValidationError
+from ..graph.csr import mutation_fingerprint, snapshot_of
+from ..local.rounds import RoundCounter, ensure_counter
+from ..nashwilliams.arboricity import exact_arboricity
+from ..nashwilliams.pseudoarboricity import (
+    exact_pseudoarboricity,
+    pseudoforest_decomposition_from_orientation,
+)
+from .config import DecompositionConfig
+from .forest_decomposition import forest_decomposition_algorithm2
+from .list_forest import list_forest_decomposition
+from .orientation import low_outdegree_orientation
+from .registry import (
+    BackendSpec,
+    TaskSpec,
+    available_backends,
+    available_tasks,
+    get_backend,
+    get_task,
+    register_backend,
+    register_task,
+)
+from .results import DecompositionResult, OrientationResult, PseudoforestResult
+from .star_forest import (
+    StarForestResult,
+    list_star_forest_decomposition_amr,
+    star_forest_decomposition_amr,
+)
+
+
+class Session:
+    """Cached graph-prep state shared by repeated decomposition queries.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.graph.multigraph.MultiGraph` all queries run
+        against.  Mutating it between queries is allowed — caches are
+        fingerprint-keyed and rebuild on demand.
+    config:
+        Default :class:`~repro.core.config.DecompositionConfig` for
+        :meth:`decompose` calls that do not pass their own.
+    """
+
+    def __init__(
+        self, graph, config: Optional[DecompositionConfig] = None
+    ) -> None:
+        self.graph = graph
+        self.config = config if config is not None else DecompositionConfig()
+        self._memo: Dict[str, Tuple[Tuple[int, int, int], Any]] = {}
+        self._sub_csr: Dict[Tuple, Any] = {}
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        #: wall-clock seconds of the graph-prep phase of the most
+        #: recent :meth:`prepare` (cache hits make this ~0)
+        self.last_prep_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Fingerprint-keyed caches
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> Tuple[int, int, int]:
+        """The graph's current mutation fingerprint (cache key)."""
+        return mutation_fingerprint(self.graph)
+
+    def _memoized(self, key: str, compute):
+        fingerprint = self.fingerprint()
+        entry = self._memo.get(key)
+        if entry is not None and entry[0] == fingerprint:
+            self._hits[key] = self._hits.get(key, 0) + 1
+            return entry[1]
+        value = compute()
+        self._memo[key] = (fingerprint, value)
+        self._misses[key] = self._misses.get(key, 0) + 1
+        return value
+
+    def snapshot(self):
+        """The graph's CSR snapshot (built once per fingerprint)."""
+        return self._memoized("snapshot", lambda: snapshot_of(self.graph))
+
+    def arboricity(self) -> int:
+        """Memoized exact arboricity (Nash-Williams ground truth)."""
+        return self._memoized(
+            "arboricity", lambda: exact_arboricity(self.graph)
+        )
+
+    def pseudoarboricity(self) -> int:
+        """Memoized exact pseudoarboricity."""
+        return self._memoized(
+            "pseudoarboricity", lambda: exact_pseudoarboricity(self.graph)
+        )
+
+    def sub_csr(self, eids: Iterable[int]):
+        """Cached CSR adjacency ``(offsets, neighbors, edge ids)`` of
+        the subgraph on ``eids`` — the per-color extraction reused
+        across queries that walk the same color class (e.g. a forest
+        decomposition's trees feeding a later orientation query)."""
+        fingerprint = self.fingerprint()
+        key = (fingerprint, frozenset(eids))
+        cached = self._sub_csr.get(key)
+        if cached is not None:
+            self._hits["sub_csr"] = self._hits.get("sub_csr", 0) + 1
+            return cached
+        # A mutation invalidates every cached extraction at once; drop
+        # the stale generation so a long-lived session on an evolving
+        # graph doesn't accumulate dead arrays.
+        stale = [k for k in self._sub_csr if k[0] != fingerprint]
+        for k in stale:
+            del self._sub_csr[k]
+        arrays = self.snapshot().edge_subset_csr_arrays(sorted(key[1]))
+        self._sub_csr[key] = arrays
+        self._misses["sub_csr"] = self._misses.get("sub_csr", 0) + 1
+        return arrays
+
+    def prepare(self) -> "Session":
+        """Force the graph-prep phase now: snapshot + exact arboricity
+        + pseudoarboricity.  Every task runs this implicitly; calling
+        it up front moves the cost off the first query's latency.
+        Records the elapsed wall-clock in :attr:`last_prep_seconds`.
+        """
+        start = time.perf_counter()
+        self.snapshot()
+        self.arboricity()
+        self.pseudoarboricity()
+        self.last_prep_seconds = time.perf_counter() - start
+        return self
+
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counts per cached computation."""
+        keys = set(self._hits) | set(self._misses)
+        return {
+            key: {
+                "hits": self._hits.get(key, 0),
+                "misses": self._misses.get(key, 0),
+            }
+            for key in sorted(keys)
+        }
+
+    # ------------------------------------------------------------------
+    # Config resolution
+    # ------------------------------------------------------------------
+
+    def resolve_alpha(self, config: DecompositionConfig) -> int:
+        """``config.alpha`` when given, else the memoized exact value."""
+        if config.alpha is not None:
+            return config.alpha
+        return self.arboricity()
+
+    def substrate(self, config: DecompositionConfig) -> str:
+        """The concrete substrate string for ``config.backend``,
+        resolved through the backend registry."""
+        return get_backend(config.backend).substrate_for(self.graph)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def decompose(
+        self,
+        task: str = "forest",
+        config: Optional[DecompositionConfig] = None,
+        rounds: Optional[RoundCounter] = None,
+        **kwargs: Any,
+    ) -> DecompositionResult:
+        """Run a registered task on this session's graph.
+
+        ``config`` falls back to the session default; task-specific
+        kwargs (``palettes``, ``method``, ``splitting``, ...) may come
+        from ``config.options`` or be passed directly (direct wins).
+        Returns a :class:`~repro.core.results.DecompositionResult`
+        bound to the graph and config; validated per
+        ``config.validation``.
+        """
+        spec = get_task(task)
+        cfg = config if config is not None else self.config
+        if not isinstance(cfg, DecompositionConfig):
+            raise ValidationError(
+                f"config must be a DecompositionConfig, got {type(cfg).__name__}"
+            )
+        cfg = cfg.with_defaults(spec.default_epsilon)
+        # registry-level checks happen here, once, for every task —
+        # including third-party registrations
+        get_backend(cfg.backend)
+        if spec.simple_only and not self.graph.is_simple():
+            raise GraphError(
+                f"task {spec.name!r} needs a simple graph "
+                "(parallel edges present)"
+            )
+        merged: Dict[str, Any] = dict(cfg.options)
+        merged.update(kwargs)
+        result = spec.runner(self, cfg, rounds=rounds, **merged)
+        if result.graph is None:
+            result.graph = self.graph
+        result.config = cfg
+        if spec.needs_palettes and result.palettes is None:
+            result.palettes = merged.get("palettes")
+        if cfg.validation != "none":
+            result.validate(level=cfg.validation)
+        return result
+
+
+def decompose(
+    graph,
+    task: str = "forest",
+    config: Optional[DecompositionConfig] = None,
+    session: Optional[Session] = None,
+    rounds: Optional[RoundCounter] = None,
+    **kwargs: Any,
+) -> DecompositionResult:
+    """One-shot dispatcher: ``repro.decompose(graph, task="forest")``.
+
+    Equivalent to ``Session(graph).decompose(task, ...)``; pass an
+    existing ``session`` to reuse its caches (or call the method on the
+    session directly).  See :class:`Session` for the repeated-query
+    workflow.
+    """
+    if session is None:
+        session = Session(graph)
+    elif session.graph is not graph:
+        raise ValidationError("session is bound to a different graph")
+    return session.decompose(task, config=config, rounds=rounds, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in task runners
+# ----------------------------------------------------------------------
+
+
+def _run_forest(
+    session: Session,
+    config: DecompositionConfig,
+    rounds: Optional[RoundCounter] = None,
+    radius: Optional[int] = None,
+    search_radius: Optional[int] = None,
+) -> DecompositionResult:
+    return forest_decomposition_algorithm2(
+        session.graph,
+        config.epsilon,
+        alpha=session.resolve_alpha(config),
+        cut_rule=config.cut_rule,
+        diameter_mode=config.diameter_mode,
+        seed=config.seed,
+        rounds=rounds,
+        radius=radius,
+        search_radius=search_radius,
+        backend=session.substrate(config),
+    )
+
+
+def _run_list_forest(
+    session: Session,
+    config: DecompositionConfig,
+    palettes=None,
+    splitting: str = "cluster",
+    reserve_probability=None,
+    rounds: Optional[RoundCounter] = None,
+    radius: Optional[int] = None,
+    search_radius: Optional[int] = None,
+) -> DecompositionResult:
+    if palettes is None:
+        raise PaletteError("task 'list_forest' requires palettes=")
+    return list_forest_decomposition(
+        session.graph,
+        palettes,
+        config.epsilon,
+        alpha=session.resolve_alpha(config),
+        splitting=splitting,
+        cut_rule=config.cut_rule,
+        reserve_probability=reserve_probability,
+        seed=config.seed,
+        rounds=rounds,
+        radius=radius,
+        search_radius=search_radius,
+        backend=session.substrate(config),
+    )
+
+
+def _run_star_forest(
+    session: Session,
+    config: DecompositionConfig,
+    rounds: Optional[RoundCounter] = None,
+    max_lll_rounds: int = 60,
+) -> DecompositionResult:
+    return star_forest_decomposition_amr(
+        session.graph,
+        config.epsilon,
+        alpha=session.resolve_alpha(config) if session.graph.m else None,
+        seed=config.seed,
+        rounds=rounds,
+        max_lll_rounds=max_lll_rounds,
+    )
+
+
+def _run_list_star_forest(
+    session: Session,
+    config: DecompositionConfig,
+    palettes=None,
+    method: str = "amr",
+    rounds: Optional[RoundCounter] = None,
+    max_lll_rounds: int = 200,
+) -> DecompositionResult:
+    if palettes is None:
+        raise PaletteError("task 'list_star_forest' requires palettes=")
+    if method == "amr":
+        return list_star_forest_decomposition_amr(
+            session.graph,
+            palettes,
+            config.epsilon,
+            alpha=session.resolve_alpha(config) if session.graph.m else None,
+            seed=config.seed,
+            rounds=rounds,
+            max_lll_rounds=max_lll_rounds,
+        )
+    if method == "hpartition":
+        from ..decomposition.lsfd import (
+            list_star_forest_decomposition as lsfd_theorem23,
+        )
+        from .algorithm_stats import StarForestStats
+
+        counter = ensure_counter(rounds)
+        pseudo = session.pseudoarboricity()
+        coloring = lsfd_theorem23(
+            session.graph, palettes, max(1, pseudo), 0.5, counter
+        )
+        colors_used = len(set(coloring.values()))
+        return StarForestResult(
+            coloring, colors_used, counter, StarForestStats(),
+            graph=session.graph,
+        )
+    raise DecompositionError(f"unknown LSFD method {method!r}")
+
+
+def _run_orientation(
+    session: Session,
+    config: DecompositionConfig,
+    method: str = "augmentation",
+    rounds: Optional[RoundCounter] = None,
+) -> OrientationResult:
+    counter = ensure_counter(rounds)
+    # hpartition ignores alpha (it peels by pseudoarboricity), so only
+    # the alpha-consuming methods pull the session's memoized value.
+    orientation, bound = low_outdegree_orientation(
+        session.graph,
+        config.epsilon,
+        alpha=config.alpha if method == "hpartition"
+        else session.resolve_alpha(config),
+        method=method,
+        seed=config.seed,
+        rounds=counter,
+        backend=session.substrate(config),
+        pseudoarboricity=session.pseudoarboricity()
+        if method == "hpartition" else None,
+    )
+    return OrientationResult(
+        orientation, bound, rounds=counter, graph=session.graph
+    )
+
+
+def _run_pseudoforest(
+    session: Session,
+    config: DecompositionConfig,
+    method: str = "augmentation",
+    rounds: Optional[RoundCounter] = None,
+) -> PseudoforestResult:
+    counter = ensure_counter(rounds)
+    orientation_result = _run_orientation(
+        session, config, method=method, rounds=counter
+    )
+    coloring = pseudoforest_decomposition_from_orientation(
+        session.graph, orientation_result.orientation
+    )
+    return PseudoforestResult(
+        coloring, orientation_result.bound, rounds=counter,
+        graph=session.graph,
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+
+register_task(TaskSpec(
+    name="forest",
+    runner=_run_forest,
+    description="(1+eps)alpha forest decomposition of a multigraph",
+    citation="Theorem 4.6",
+    default_epsilon=0.5,
+    uses=("arboricity",),
+))
+register_task(TaskSpec(
+    name="list_forest",
+    runner=_run_list_forest,
+    description="(1+eps)alpha list-forest decomposition",
+    citation="Theorem 4.10",
+    default_epsilon=0.5,
+    needs_palettes=True,
+    uses=("arboricity",),
+))
+register_task(TaskSpec(
+    name="star_forest",
+    runner=_run_star_forest,
+    description="(1+O(eps))alpha star-forest decomposition (simple graphs)",
+    citation="Theorem 5.4(1)",
+    default_epsilon=0.25,
+    simple_only=True,
+    uses=("arboricity",),
+))
+register_task(TaskSpec(
+    name="list_star_forest",
+    runner=_run_list_star_forest,
+    description="list star-forest decomposition (simple graphs)",
+    citation="Theorem 5.4(2) / Theorem 2.3",
+    default_epsilon=0.05,
+    simple_only=True,
+    needs_palettes=True,
+    uses=("arboricity", "pseudoarboricity"),
+))
+register_task(TaskSpec(
+    name="orientation",
+    runner=_run_orientation,
+    description="(1+eps)alpha low out-degree orientation",
+    citation="Corollary 1.1",
+    default_epsilon=0.5,
+    uses=("arboricity", "pseudoarboricity"),
+))
+register_task(TaskSpec(
+    name="pseudoforest",
+    runner=_run_pseudoforest,
+    description="(1+eps)alpha pseudoforest decomposition",
+    citation="Corollary 1.1 companion",
+    default_epsilon=0.5,
+    uses=("arboricity", "pseudoarboricity"),
+))
+
+register_backend(BackendSpec(
+    name="auto",
+    description="per-callsite choice: kernel for large graphs and CSR "
+    "inputs, dict reference for small ones",
+    capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
+))
+register_backend(BackendSpec(
+    name="dict",
+    description="dict-of-dicts reference paths (byte-identical goldens)",
+    capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
+))
+register_backend(BackendSpec(
+    name="csr",
+    description="flat-array CSR kernel (vectorized peeling/traversal)",
+    capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
+))
+
+__all__ = [
+    "Session",
+    "decompose",
+    "available_tasks",
+    "available_backends",
+    "get_task",
+    "get_backend",
+    "register_task",
+    "register_backend",
+]

@@ -40,12 +40,20 @@ from ..decomposition.hpartition import (
     star_forest_decomposition_via_hpartition,
 )
 from .algorithm_stats import StarForestStats
+from .results import DecompositionResult
 
 Palettes = Dict[int, Sequence[int]]
 
 
-class StarForestResult:
-    """Final SFD/LSFD: coloring + accounting."""
+class StarForestResult(DecompositionResult):
+    """Final SFD/LSFD: coloring + accounting.
+
+    Implements the uniform result protocol
+    (:class:`~repro.core.results.DecompositionResult`); validates each
+    color class as a star forest.
+    """
+
+    kind = "star_forest"
 
     def __init__(
         self,
@@ -53,11 +61,13 @@ class StarForestResult:
         colors_used: int,
         rounds: RoundCounter,
         stats: StarForestStats,
+        graph: Optional[MultiGraph] = None,
     ) -> None:
         self.coloring = coloring
         self.colors_used = colors_used
         self.rounds = rounds
         self.stats = stats
+        self.graph = graph
 
 
 def _t_orientation(
@@ -131,7 +141,7 @@ def star_forest_decomposition_amr(
     rng = make_rng(seed)
     stats = StarForestStats()
     if graph.m == 0:
-        return StarForestResult({}, 0, counter, stats)
+        return StarForestResult({}, 0, counter, stats, graph=graph)
     if alpha is None:
         alpha = exact_arboricity(graph)
     alpha = max(alpha, 1)
@@ -216,7 +226,7 @@ def star_forest_decomposition_amr(
         _recolor_leftover_stars(graph, leftover, coloring, counter)
 
     colors_used = len(set(coloring.values()))
-    return StarForestResult(coloring, colors_used, counter, stats)
+    return StarForestResult(coloring, colors_used, counter, stats, graph=graph)
 
 
 def _recolor_leftover_stars(
@@ -259,7 +269,7 @@ def list_star_forest_decomposition_amr(
     rng = make_rng(seed)
     stats = StarForestStats()
     if graph.m == 0:
-        return StarForestResult({}, 0, counter, stats)
+        return StarForestResult({}, 0, counter, stats, graph=graph)
     if alpha is None:
         alpha = exact_arboricity(graph)
     alpha = max(alpha, 1)
@@ -336,7 +346,7 @@ def list_star_forest_decomposition_amr(
             coloring[eid] = slot_color[slot]
 
     colors_used = len(set(coloring.values()))
-    return StarForestResult(coloring, colors_used, counter, stats)
+    return StarForestResult(coloring, colors_used, counter, stats, graph=graph)
 
 
 # ----------------------------------------------------------------------

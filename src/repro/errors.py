@@ -42,5 +42,10 @@ class ReservePaletteError(DecompositionError):
     retrying with a fresh stream)."""
 
 
+class RegistryError(ReproError):
+    """Unknown or conflicting task/backend name in the decomposition
+    registry (see :mod:`repro.core.registry`)."""
+
+
 class LocalModelError(ReproError):
     """Misuse of the LOCAL simulator (message after halt, bad neighbor)."""

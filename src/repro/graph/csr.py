@@ -148,18 +148,29 @@ def bfs_distance_array(
     return dist
 
 
+def mutation_fingerprint(graph) -> Tuple[int, int, int]:
+    """A value that changes on every :class:`MultiGraph` mutation.
+
+    ``add_vertex`` bumps ``n``, ``add_edge`` bumps ``_next_edge``
+    (monotonically), and ``remove_edge`` drops ``m`` — no edit sequence
+    restores all three, so an equal fingerprint means the graph is
+    unchanged.  This keys every derived-data cache in the library: the
+    per-graph snapshot below and the :class:`~repro.core.session.Session`
+    memos (arboricity, pseudoarboricity, per-color sub-CSRs).
+    """
+    return (graph.n, graph.m, graph._next_edge)
+
+
 def snapshot_of(graph) -> "CSRGraph":
     """Cached CSR snapshot of a graph (identity for :class:`CSRGraph`).
 
-    The cache lives on the :class:`MultiGraph` instance, keyed by a
-    mutation fingerprint: ``add_vertex`` bumps ``n``, ``add_edge`` bumps
-    ``_next_edge`` (monotonically), and ``remove_edge`` drops ``m`` —
-    no edit sequence restores all three, so a fingerprint hit means the
-    graph is unchanged since the snapshot was taken.
+    The cache lives on the :class:`MultiGraph` instance, keyed by
+    :func:`mutation_fingerprint`: a fingerprint hit means the graph is
+    unchanged since the snapshot was taken.
     """
     if isinstance(graph, CSRGraph):
         return graph
-    fingerprint = (graph.n, graph.m, graph._next_edge)
+    fingerprint = mutation_fingerprint(graph)
     cached = graph.__dict__.get("_csr_snapshot_cache")
     if cached is not None and cached[0] == fingerprint:
         return cached[1]

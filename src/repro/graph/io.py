@@ -8,12 +8,18 @@ Formats (all plain text, comment lines start with ``#``):
 * coloring: ``<edge id> <color>`` per line;
 * palettes: ``<edge id> c1 c2 c3 ...`` per line.
 
+Structured results additionally round-trip as JSON
+(:func:`write_result_json` / :func:`read_result_json`), carrying the
+full uniform-result payload — kind, coloring, stats, config — instead
+of the lossy text coloring.
+
 These back the ``python -m repro`` command-line tool and let users run
 the decompositions on their own graphs.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Sequence, TextIO, Tuple, Union
 
 from ..errors import GraphError
@@ -118,6 +124,39 @@ def write_palettes(palettes: Dict[int, Sequence[int]], target: PathOrIO) -> None
     finally:
         if owned:
             handle.close()
+
+
+def write_result_json(result, target: PathOrIO) -> None:
+    """Serialize a uniform-protocol decomposition result as JSON.
+
+    ``result`` is any :class:`~repro.core.results.DecompositionResult`
+    (whatever :func:`repro.decompose` returned); the payload is
+    ``result.to_json()``, so colors, stats, round accounting and the
+    producing config all survive.
+    """
+    handle, owned = _open_for(target, "w")
+    try:
+        json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_result_json(source: PathOrIO, graph: "MultiGraph" = None):
+    """Rebuild a decomposition result written by
+    :func:`write_result_json`; bind ``graph`` to re-enable
+    ``validate()`` / ``coloring_array()``."""
+    # imported lazily: core depends on the graph layer, not vice versa
+    from ..core.results import DecompositionResult
+
+    handle, owned = _open_for(source, "r")
+    try:
+        payload = json.load(handle)
+    finally:
+        if owned:
+            handle.close()
+    return DecompositionResult.from_json(payload, graph=graph)
 
 
 def read_palettes(source: PathOrIO) -> Dict[int, List[int]]:

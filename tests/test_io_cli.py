@@ -147,6 +147,139 @@ def test_cli_generate(tmp_path, capsys):
     assert g.m == 2 * 14
 
 
+def test_cli_fd_json(graph_file, capsys):
+    import json
+
+    assert cli_main(["fd", graph_file, "--alpha", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "forest"
+    assert payload["colors_used"] >= 2
+    assert payload["config"]["alpha"] == 2
+    assert isinstance(payload["coloring"], list)
+
+
+def test_cli_fd_backend_dict_matches_csr(graph_file, capsys):
+    import json
+
+    outputs = {}
+    for backend in ("dict", "csr"):
+        assert cli_main([
+            "fd", graph_file, "--alpha", "2", "--json",
+            "--backend", backend,
+        ]) == 0
+        outputs[backend] = json.loads(capsys.readouterr().out)["coloring"]
+    assert outputs["dict"] == outputs["csr"]
+
+
+def test_cli_decompose_forest(graph_file, capsys):
+    assert cli_main([
+        "decompose", graph_file, "--task", "forest", "--alpha", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "task: forest" in out
+    assert "colors used:" in out
+
+
+def test_cli_decompose_orientation_json(graph_file, capsys):
+    import json
+
+    assert cli_main([
+        "decompose", graph_file, "--task", "orientation",
+        "--method", "exact", "--alpha", "2", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "orientation"
+    assert payload["bound"] == 3  # ceil((1 + 0.5) * 2)
+
+
+def test_cli_decompose_json_out_file(graph_file, tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "result.json")
+    assert cli_main([
+        "decompose", graph_file, "--task", "pseudoforest", "--alpha", "2",
+        "--out", out_path,
+    ]) == 0
+    with open(out_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["kind"] == "pseudoforest"
+    assert "k" in payload
+
+
+def test_cli_decompose_list_forest_with_palettes(tmp_path, capsys):
+    from repro.graph.generators import skewed_palettes
+    from repro.graph.io import write_palettes
+
+    g = union_of_random_forests(20, 2, seed=3)
+    graph_path = str(tmp_path / "graph.txt")
+    write_edge_list(g, graph_path)
+    palettes = skewed_palettes(g, 9, color_space=27, hot_fraction=0.5, seed=3)
+    palette_path = str(tmp_path / "palettes.txt")
+    write_palettes(palettes, palette_path)
+    assert cli_main([
+        "decompose", graph_path, "--task", "list_forest",
+        "--palettes", palette_path, "--epsilon", "1.0", "--alpha", "2",
+    ]) == 0
+    assert "task: list_forest" in capsys.readouterr().out
+
+
+def test_cli_decompose_rejects_inapplicable_flags(graph_file, capsys):
+    assert cli_main([
+        "decompose", graph_file, "--task", "forest",
+        "--method", "augmentation",
+    ]) == 2
+    assert "--method does not apply" in capsys.readouterr().err
+    assert cli_main([
+        "decompose", graph_file, "--task", "orientation",
+        "--palettes", graph_file,
+    ]) == 2
+    assert "--palettes does not apply" in capsys.readouterr().err
+
+
+def test_cli_decompose_unknown_task_clean_error(graph_file, capsys):
+    assert cli_main([
+        "decompose", graph_file, "--task", "bogus_task",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "unknown task" in err and "forest" in err
+
+
+def test_cli_decompose_epsilon_defaults_to_task_default(tmp_path, capsys):
+    import json
+
+    g = union_of_random_forests(25, 3, seed=5, simple=True)
+    path = str(tmp_path / "simple.txt")
+    write_edge_list(g, path)
+    assert cli_main([
+        "decompose", path, "--task", "star_forest", "--alpha", "3",
+        "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["epsilon"] == 0.25  # star_forest's default
+
+
+def test_cli_decompose_report(graph_file, capsys):
+    assert cli_main([
+        "decompose", graph_file, "--task", "forest", "--alpha", "2",
+        "--report",
+    ]) == 0
+    assert "valid forest decomposition" in capsys.readouterr().out
+
+
+def test_cli_orient_json_out(graph_file, tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "orient.json")
+    assert cli_main([
+        "orient", graph_file, "--alpha", "2", "--method", "exact",
+        "--out", out_path,
+    ]) == 0
+    with open(out_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["kind"] == "orientation"
+    assert payload["bound"] == 3
+
+
 def test_cli_generate_line_multigraph(tmp_path):
     out_path = str(tmp_path / "line.txt")
     assert cli_main([

@@ -1,0 +1,146 @@
+"""Public-API surface snapshot: freeze the exported names + signatures.
+
+The unified decomposition API is a contract — downstream code depends
+on ``repro.decompose(graph, task=..., config=...)`` keeping its shape.
+This tool computes the current surface (every ``repro.__all__`` export:
+callables with their full signature string, classes with their public
+method signatures, dataclasses with their field list) and compares it
+against the frozen snapshot in ``tools/api_surface.json``.
+
+* check (default, also run by ``make lint`` and
+  ``tests/test_api_surface.py``): exit non-zero with a name-by-name
+  diff on any drift, so accidental breakage fails the lint job;
+* ``--regen``: re-freeze after an *intentional* surface change — the
+  diff then shows up in review next to the code that caused it.
+
+Run:    PYTHONPATH=src python tools/api_surface.py [--regen]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+import os
+import sys
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "api_surface.json")
+
+# Class attributes that are protocol plumbing, not API surface.
+_SKIP_MEMBERS = {"__init__"}  # __init__ is reported as the class signature
+
+
+def _signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _describe_class(cls) -> dict:
+    entry = {"type": "class", "signature": _signature_of(cls)}
+    if dataclasses.is_dataclass(cls):
+        entry["fields"] = [
+            field.name for field in dataclasses.fields(cls)
+        ]
+    methods = {}
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            methods[name] = "property"
+        elif isinstance(member, (staticmethod, classmethod)):
+            methods[name] = _signature_of(member.__func__)
+        elif callable(member):
+            methods[name] = _signature_of(member)
+    if methods:
+        entry["methods"] = methods
+    return entry
+
+
+def compute_surface() -> dict:
+    """The current public surface of ``import repro``, as a JSON dict."""
+    import repro
+
+    surface = {}
+    for name in sorted(set(repro.__all__)):
+        if name == "__version__":
+            continue  # version moves every release; not surface
+        obj = getattr(repro, name)
+        if inspect.isclass(obj):
+            surface[name] = _describe_class(obj)
+        elif callable(obj):
+            surface[name] = {
+                "type": "function",
+                "signature": _signature_of(obj),
+            }
+        elif inspect.ismodule(obj):
+            surface[name] = {"type": "module"}
+        else:
+            surface[name] = {"type": type(obj).__name__}
+    return surface
+
+
+def load_snapshot() -> dict:
+    if not os.path.exists(SNAPSHOT_PATH):
+        return {}
+    with open(SNAPSHOT_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_snapshot(surface: dict) -> None:
+    with open(SNAPSHOT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(surface, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def diff_surface(frozen: dict, current: dict):
+    """Human-readable drift lines between two surface dicts."""
+    lines = []
+    for name in sorted(set(frozen) | set(current)):
+        if name not in current:
+            lines.append(f"- removed export: {name}")
+        elif name not in frozen:
+            lines.append(f"+ new export (freeze it with --regen): {name}")
+        elif frozen[name] != current[name]:
+            lines.append(f"~ changed: {name}")
+            lines.append(f"    frozen:  {json.dumps(frozen[name], sort_keys=True)}")
+            lines.append(f"    current: {json.dumps(current[name], sort_keys=True)}")
+    return lines
+
+
+def check() -> int:
+    frozen = load_snapshot()
+    if not frozen:
+        print(
+            "api-surface: no snapshot found; freeze one with "
+            "`python tools/api_surface.py --regen`"
+        )
+        return 1
+    current = compute_surface()
+    drift = diff_surface(frozen, current)
+    if drift:
+        print("api-surface: public surface drifted from tools/api_surface.json")
+        for line in drift:
+            print(line)
+        print(
+            "If this change is intentional, re-freeze with "
+            "`python tools/api_surface.py --regen` and commit the diff."
+        )
+        return 1
+    print(f"api-surface: OK ({len(current)} exports match the snapshot)")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--regen" in argv:
+        surface = compute_surface()
+        save_snapshot(surface)
+        print(f"api-surface: froze {len(surface)} exports to {SNAPSHOT_PATH}")
+        return 0
+    return check()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

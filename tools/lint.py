@@ -9,6 +9,9 @@ Two layers, matching what the environment can guarantee:
    redefinitions.  The offline dev container does not ship pyflakes,
    so its absence downgrades to the compile check rather than failing;
    CI behaves the same way, keeping local and CI lint identical.
+3. **API-surface check** (tools/api_surface.py): the exported
+   names/signatures must match the frozen tools/api_surface.json —
+   accidental public-API breakage fails the lint job.
 
 Exit status is non-zero on any finding, so the Make target and the CI
 job gate on it.
@@ -48,6 +51,18 @@ def pyflakes_check(root: Path) -> bool:
     return checkRecursive(paths, reporter) == 0
 
 
+def api_surface_check(root: Path) -> bool:
+    """The frozen public-API snapshot must match (tools/api_surface.py)."""
+    src = root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    if str(root / "tools") not in sys.path:
+        sys.path.insert(0, str(root / "tools"))
+    import api_surface
+
+    return api_surface.check() == 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     ok = compile_check(root)
@@ -56,6 +71,9 @@ def main() -> int:
         return 1
     if not pyflakes_check(root):
         print("lint: pyflakes findings")
+        return 1
+    if not api_surface_check(root):
+        print("lint: public API surface drifted")
         return 1
     print("lint: OK")
     return 0
