@@ -19,7 +19,9 @@ lint:
 	python tools/lint.py
 
 # Dict vs flat-array kernel on the peeling + traversal hot paths
-# (asserts >= 2x at n >= 2000; writes benchmarks/results/BENCH_*.json).
+# (asserts >= 2x at n >= 2000), session reuse (>= 1.5x warm prep), and
+# sharded vs serial peeling (>= 1.5x at n >= 50k); writes
+# benchmarks/results/BENCH_*.json.
 bench-kernel:
 	python benchmarks/bench_kernel.py
 

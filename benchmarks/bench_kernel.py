@@ -1,6 +1,6 @@
 """Flat-array kernel vs. dict-backed graph on the decomposition hot paths.
 
-Three sections, one per substrate milestone:
+Four sections, one per substrate milestone:
 
 * ``bench_kernel`` — the PR-1 peeling paths: ``h_partition`` (threshold
   peeling) and ``degeneracy_ordering`` (delete-min peeling).
@@ -14,6 +14,12 @@ Three sections, one per substrate milestone:
   decomposition task pays on the same session, vs. what a fresh run
   pays.  Asserts the session's reason to exist (>= 1.5x faster warm
   prep at n >= 2000; in practice the warm path is pure cache hits).
+* ``bench_shard`` — the sharded multi-worker peeling backend vs. the
+  serial csr kernel at n >= 50k, workers in {1, 2, 4}.  Asserts
+  >= 1.5x on the wave-cascade workloads (many peel waves — the serial
+  path's worst case, where it rescans all n vertices per wave) and
+  verifies bit-identical classes everywhere; wave-poor workloads are
+  reported unasserted (sharding is deliberately ~1x there).
 
 All sections check output equality where applicable, assert their
 speedup floors (skipped when ``BENCH_SNAPSHOT=1`` — shared CI runners
@@ -36,6 +42,7 @@ from repro.decomposition.network_decomposition import (
 from repro.graph.csr import snapshot_of
 from repro.graph.generators import (
     erdos_renyi,
+    grid_graph,
     preferential_attachment,
     union_of_random_forests,
 )
@@ -439,6 +446,138 @@ def run_session_comparison():
     return rows
 
 
+# ----------------------------------------------------------------------
+# Sharded multi-worker peeling vs. the serial csr kernel
+# ----------------------------------------------------------------------
+
+SHARD_SPEEDUP_FLOOR = 1.5
+SHARD_REPEATS = 5
+SHARD_WORKER_COUNTS = (1, 2, 4)
+
+# (name, asserted, threshold, factory).  The asserted workloads are
+# wave cascades: peeling proceeds frontier by frontier (hundreds of
+# waves), so the serial kernel pays a full O(n) scan per wave while the
+# sharded backend's reconcile hands each wave its exact work-list.
+# The unasserted ones are wave-poor (a handful of waves) — there both
+# backends do the same bulk work and sharding is honestly ~1x; they are
+# reported so the trade-off stays visible in the artifacts.
+SHARD_WORKLOADS = [
+    ("grid 320x320 cascade t=2", True, 2,
+     lambda: grid_graph(320, 320)),
+    ("grid 400x400 cascade t=2", True, 2,
+     lambda: grid_graph(400, 400)),
+    ("pref n=120k d=4 t=4", False, 4,
+     lambda: preferential_attachment(120000, 4, seed=51)),
+    ("forests n=60k a=5 t=12", False, 12,
+     lambda: union_of_random_forests(60000, 5, seed=52)),
+]
+
+
+def run_shard_comparison():
+    rows = []
+    json_rows = []
+    asserted = []
+    for name, assertable, threshold, make in SHARD_WORKLOADS:
+        graph = make()
+        snapshot = snapshot_of(graph)
+        reference = h_partition(
+            graph, threshold, backend="csr", snapshot=snapshot
+        )
+        csr_ms = _best(
+            lambda: h_partition(
+                graph, threshold, backend="csr", snapshot=snapshot
+            ),
+            SHARD_REPEATS,
+        )
+        best_speedup = 0.0
+        for workers in SHARD_WORKER_COUNTS:
+            sharded = h_partition(
+                graph, threshold, backend="sharded",
+                snapshot=snapshot, workers=workers,
+            )
+            # The backend's contract: bit-identical classes for every
+            # worker count.
+            assert sharded.classes == reference.classes
+            sharded_ms = _best(
+                lambda: h_partition(
+                    graph, threshold, backend="sharded",
+                    snapshot=snapshot, workers=workers,
+                ),
+                SHARD_REPEATS,
+            )
+            speedup = csr_ms / sharded_ms
+            best_speedup = max(best_speedup, speedup)
+            rows.append(
+                (
+                    name,
+                    graph.n,
+                    graph.m,
+                    reference.num_classes,
+                    workers,
+                    f"{csr_ms * 1e3:.1f}",
+                    f"{sharded_ms * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": name,
+                    "n": graph.n,
+                    "m": graph.m,
+                    "op": "h_partition",
+                    "waves": reference.num_classes,
+                    "workers": workers,
+                    "csr_ms": round(csr_ms * 1e3, 3),
+                    "sharded_ms": round(sharded_ms * 1e3, 3),
+                    "speedup": round(speedup, 3),
+                }
+            )
+        if assertable:
+            asserted.append((name, best_speedup))
+
+    emit(
+        "shard",
+        format_table(
+            "Sharded multi-worker peeling vs serial csr kernel (n >= 50k)",
+            [
+                "workload",
+                "n",
+                "m",
+                "waves",
+                "workers",
+                "csr ms",
+                "sharded ms",
+                "speedup",
+            ],
+            rows,
+        ),
+    )
+    emit_json(
+        "BENCH_shard",
+        {
+            "bench": "shard",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": SHARD_SPEEDUP_FLOOR,
+            "worker_counts": list(SHARD_WORKER_COUNTS),
+            "rows": json_rows,
+            "asserted": [
+                {"workload": name, "best_speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
+
+    if not SNAPSHOT_MODE:
+        for name, best in asserted:
+            assert best >= SHARD_SPEEDUP_FLOOR, (
+                f"{name}: best sharded speedup {best:.2f}x < "
+                f"{SHARD_SPEEDUP_FLOOR}x at n >= 50k — the sharded "
+                "backend's reason to exist"
+            )
+    return rows
+
+
 def bench_kernel(benchmark=None):
     if benchmark is None:
         run_kernel_comparison()
@@ -466,7 +605,17 @@ def bench_session(benchmark=None):
         once(benchmark, run_session_comparison)
 
 
+def bench_shard(benchmark=None):
+    if benchmark is None:
+        run_shard_comparison()
+    else:
+        from harness import once
+
+        once(benchmark, run_shard_comparison)
+
+
 if __name__ == "__main__":
     bench_kernel()
     bench_traversal()
     bench_session()
+    bench_shard()

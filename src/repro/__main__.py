@@ -51,8 +51,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="arboricity if known (else computed exactly)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", default="auto",
-                        help="graph substrate: auto|dict|csr or any "
-                        "registered backend (default: auto)")
+                        help="graph substrate: auto|dict|csr|sharded or "
+                        "any registered backend (default: auto)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker threads for the sharded peeling "
+                        "backend (0 = auto; results are identical for "
+                        "every value)")
     parser.add_argument("--out", default=None, help="write coloring here")
     parser.add_argument("--json", action="store_true",
                         help="print the structured result (to_json()) "
@@ -95,7 +99,7 @@ def _cmd_fd(args: argparse.Namespace) -> int:
     result = forest_decomposition(
         graph, epsilon=args.epsilon, alpha=args.alpha,
         diameter_mode="auto" if args.bounded_diameter else None,
-        seed=args.seed, backend=args.backend,
+        seed=args.seed, backend=args.backend, workers=args.workers,
     )
     check_forest_decomposition(graph, result.coloring)
     if not args.json:
@@ -117,7 +121,7 @@ def _cmd_sfd(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
     result = star_forest_decomposition(
         graph, epsilon=args.epsilon, alpha=args.alpha, seed=args.seed,
-        backend=args.backend,
+        backend=args.backend, workers=args.workers,
     )
     count = check_star_forest_decomposition(graph, result.coloring)
     if not args.json:
@@ -139,7 +143,7 @@ def _cmd_orient(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
     config = DecompositionConfig(
         epsilon=args.epsilon, alpha=args.alpha, seed=args.seed,
-        backend=args.backend,
+        backend=args.backend, workers=args.workers,
     )
     result = decompose(
         graph, task="orientation", config=config, method=args.method
@@ -175,6 +179,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         seed=args.seed,
         backend=args.backend,
+        workers=args.workers,
         diameter_mode=args.diameter_mode,
         cut_rule=args.cut_rule,
         validation=args.validation,

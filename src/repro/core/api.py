@@ -100,6 +100,7 @@ def forest_decomposition(
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> ForestDecompositionResult:
     """(1+ε)α forest decomposition of a multigraph (Theorem 4.6).
 
@@ -121,7 +122,9 @@ def forest_decomposition(
         ``"conditioned_sampling"``.
     backend:
         Graph substrate: ``"auto"`` (default), ``"dict"`` (reference),
-        ``"csr"`` (kernel), or any registered backend name.
+        ``"csr"`` (kernel), ``"sharded"`` (multi-worker peeling with
+        ``workers`` threads; csr below n = 50k), or any registered
+        backend name.
 
     Returns a :class:`ForestDecompositionResult` whose ``coloring`` maps
     every edge id to a forest index, with ``colors_used`` and charged
@@ -130,7 +133,7 @@ def forest_decomposition(
     """
     config = DecompositionConfig(
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
-        diameter_mode=diameter_mode, cut_rule=cut_rule,
+        workers=workers, diameter_mode=diameter_mode, cut_rule=cut_rule,
     )
     return decompose(graph, task="forest", config=config, rounds=rounds)
 
@@ -148,6 +151,7 @@ def list_forest_decomposition(
     radius: Optional[int] = None,
     search_radius: Optional[int] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> ListForestDecompositionResult:
     """(1+ε)α list-forest decomposition of a multigraph (Theorem 4.10).
 
@@ -157,7 +161,7 @@ def list_forest_decomposition(
     """
     config = DecompositionConfig(
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
-        cut_rule=cut_rule,
+        workers=workers, cut_rule=cut_rule,
     )
     return decompose(
         graph, task="list_forest", config=config, rounds=rounds,
@@ -174,11 +178,13 @@ def star_forest_decomposition(
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> StarForestResult:
     """(1+O(ε))α star-forest decomposition of a simple graph
     (Theorem 5.4(1); regime α ≥ Ω(√log Δ + log α))."""
     config = DecompositionConfig(
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
+        workers=workers,
     )
     return decompose(graph, task="star_forest", config=config, rounds=rounds)
 
@@ -192,6 +198,7 @@ def list_star_forest_decomposition(
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> StarForestResult:
     """List star-forest decomposition of a simple graph.
 
@@ -200,6 +207,7 @@ def list_star_forest_decomposition(
     Theorem 2.3 fallback ((4+ε)α* colors, any α)."""
     config = DecompositionConfig(
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
+        workers=workers,
     )
     return decompose(
         graph, task="list_star_forest", config=config, rounds=rounds,
@@ -215,6 +223,7 @@ def pseudoforest_decomposition(
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> Tuple[Dict[int, int], int]:
     """(1+ε)α pseudoforest decomposition (the Corollary 1.1 companion).
 
@@ -223,6 +232,7 @@ def pseudoforest_decomposition(
     Returns (coloring, number of pseudoforests)."""
     config = DecompositionConfig(
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
+        workers=workers,
     )
     result = decompose(
         graph, task="pseudoforest", config=config, rounds=rounds,
@@ -239,6 +249,7 @@ def low_outdegree_orientation(
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> Tuple[Orientation, int]:
     """A (1+ε)α-orientation (Corollary 1.1); returns (orientation,
     out-degree bound).  ``method`` is ``"augmentation"`` (the paper),
@@ -246,6 +257,7 @@ def low_outdegree_orientation(
     witness ground truth)."""
     config = DecompositionConfig(
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
+        workers=workers,
     )
     result = decompose(
         graph, task="orientation", config=config, rounds=rounds,
@@ -260,6 +272,7 @@ def barenboim_elkin_forest_decomposition(
     pseudoarboricity: Optional[int] = None,
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> Tuple[Dict[int, int], int]:
     """The (2+ε)α baseline the paper improves on ([BE10] / Theorem 2.1).
 
@@ -279,10 +292,13 @@ def barenboim_elkin_forest_decomposition(
         rooted_forests_from_orientation,
     )
 
-    peel_backend = resolve_backend(graph, backend, DecompositionError)
-    snapshot = snapshot_of(graph) if peel_backend == "csr" else None
+    peel_backend = resolve_backend(
+        graph, backend, DecompositionError, peeling=True
+    )
+    snapshot = snapshot_of(graph) if peel_backend != "dict" else None
     partition = h_partition(
-        graph, threshold, counter, backend=peel_backend, snapshot=snapshot
+        graph, threshold, counter, backend=peel_backend,
+        snapshot=snapshot, workers=workers,
     )
     orientation = acyclic_orientation(
         graph, partition, counter, backend=peel_backend, snapshot=snapshot

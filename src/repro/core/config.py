@@ -20,7 +20,11 @@ Semantics of the shared fields:
   results bit-for-bit.
 * ``backend`` — graph-substrate name resolved through the backend
   registry: ``"auto"`` (default), ``"dict"`` (byte-identical reference
-  paths), ``"csr"`` (flat-array kernel), or any registered name.
+  paths), ``"csr"`` (flat-array kernel), ``"sharded"`` (multi-worker
+  peeling waves at ``n >= 50k``, csr below), or any registered name.
+* ``workers`` — worker count for the sharded peeling backend; ``0``
+  (default) auto-sizes to the machine.  Results are bit-identical for
+  every value, so this is purely a throughput knob.
 * ``diameter_mode`` — forest-diameter bounding per Corollary 2.5:
   ``None`` (unbounded), ``"safe"``, ``"strong"``, or ``"auto"``.
 * ``cut_rule`` — CUT implementation per Theorem 4.2.
@@ -50,12 +54,18 @@ class DecompositionConfig:
     alpha: Optional[int] = None
     seed: SeedLike = None
     backend: str = "auto"
+    workers: int = 0
     diameter_mode: Optional[str] = None
     cut_rule: str = "depth_residue"
     validation: str = "none"
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 0:
+            raise ValidationError(
+                f"workers must be a nonnegative int (0 = auto), "
+                f"got {self.workers!r}"
+            )
         if self.validation not in VALIDATION_LEVELS:
             raise ValidationError(
                 f"unknown validation level {self.validation!r}; "

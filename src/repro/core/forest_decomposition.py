@@ -27,6 +27,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import AugmentationError, DecompositionError
+from ..graph.csr import resolve_backend
 from ..graph.multigraph import MultiGraph
 from ..graph.traversal import power_graph
 from ..local.rounds import RoundCounter, ensure_counter
@@ -47,6 +48,20 @@ from .partial_coloring import PartialListForestDecomposition
 from .results import DecompositionResult
 
 Palettes = Dict[int, Sequence[int]]
+
+
+def _split_backend(backend: str) -> Tuple[str, str]:
+    """``(peel, substrate)`` substrates for a pipeline backend string.
+
+    The sharded backend only specializes threshold peeling; the
+    traversal / network-decomposition / color-class phases run on the
+    plain CSR arrays either way.
+    """
+    if backend == "dict":
+        return "dict", "dict"
+    if backend == "sharded":
+        return "sharded", "csr"
+    return "csr", "csr"
 
 
 class Algorithm2Stats:
@@ -118,6 +133,7 @@ def algorithm2(
     rounds: Optional[RoundCounter] = None,
     strict_locality: bool = False,
     backend: str = "auto",
+    workers: int = 0,
 ) -> Algorithm2Result:
     """Run Algorithm 2 on ``graph`` with the given per-edge palettes.
 
@@ -136,18 +152,23 @@ def algorithm2(
         If True, a failed radius-capped augmenting search raises instead
         of falling back to an uncapped search.
     backend:
-        Graph substrate for the traversal / network-decomposition /
-        color-class phases: ``"auto"`` (default, kernel-backed),
-        ``"dict"`` (the byte-identical reference paths throughout), or
-        ``"csr"``.  Outputs are identical across backends (certified by
-        the kernel-equivalence suite).
+        Graph substrate: ``"auto"`` (default, kernel-backed),
+        ``"dict"`` (the byte-identical reference paths throughout),
+        ``"csr"``, or ``"sharded"`` (multi-worker peeling waves with
+        ``workers`` threads; traversal/color phases run on the same
+        CSR arrays as ``"csr"``).  Outputs are identical across
+        backends and worker counts (certified by the
+        kernel-equivalence suite).
     """
-    if backend not in ("auto", "dict", "csr"):
+    if backend not in ("auto", "dict", "csr", "sharded"):
         raise DecompositionError(f"unknown backend {backend!r}")
     counter = ensure_counter(rounds)
     rng = make_rng(seed)
     stats = Algorithm2Stats()
-    state = PartialListForestDecomposition(graph, palettes, backend=backend)
+    state = PartialListForestDecomposition(
+        graph, palettes,
+        backend="csr" if backend == "sharded" else backend,
+    )
     if graph.m == 0:
         return Algorithm2Result(state, stats, counter)
 
@@ -159,15 +180,15 @@ def algorithm2(
     stats.search_radius = r_prime
     d = r + r_prime
 
-    peel_backend = "dict" if backend == "dict" else "csr"
+    peel_backend, substrate = _split_backend(backend)
     orientation_j = None
     if cut_rule == "conditioned_sampling":
         with counter.phase("orientation J"):
             pseudo = exact_pseudoarboricity(graph)
-            snapshot = None if peel_backend == "dict" else state.csr_snapshot()
+            snapshot = None if substrate == "dict" else state.csr_snapshot()
             partition = h_partition(
                 graph, max(1, 3 * pseudo), counter,
-                backend=peel_backend, snapshot=snapshot,
+                backend=peel_backend, snapshot=snapshot, workers=workers,
             )
             orientation_j = acyclic_orientation(
                 graph, partition, counter,
@@ -192,7 +213,7 @@ def algorithm2(
         # ball carving consumes it on the same arrays.  Clusters are
         # identical to the dict reference path (kernel-equivalence
         # suite + golden regression certify this).
-        if peel_backend == "dict":
+        if substrate == "dict":
             power = power_graph(
                 graph, max(1, min(2 * d, 2 * n)), backend="dict"
             )
@@ -201,7 +222,7 @@ def algorithm2(
                 state.csr_snapshot(), max(1, min(2 * d, 2 * n)), backend="csr"
             )
         nd = network_decomposition(
-            power, counter, radius_cost=2 * d, backend=peel_backend
+            power, counter, radius_cost=2 * d, backend=substrate
         )
 
     log_n = max(1, math.ceil(math.log2(n + 1)))
@@ -325,6 +346,7 @@ def forest_decomposition_algorithm2(
     radius: Optional[int] = None,
     search_radius: Optional[int] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> ForestDecompositionResult:
     """Theorem 4.6: a (1+ε)α-forest decomposition of a multigraph.
 
@@ -360,18 +382,20 @@ def forest_decomposition_algorithm2(
             seed=child_rng(rng, "alg2"),
             rounds=counter,
             backend=backend,
+            workers=workers,
         )
 
     coloring: Dict[int, int] = dict(result.colored)
     next_color = base_colors
     leftover = result.leftover
 
-    peel_backend = "dict" if backend == "dict" else "csr"
+    peel_backend, _substrate = _split_backend(backend)
     with counter.phase("leftover recoloring"):
         next_color = _recolor_fresh(
             graph, leftover, coloring, next_color, counter,
             as_star_forests=diameter_mode is not None,
             backend=peel_backend,
+            workers=workers,
         )
 
     if diameter_mode is not None:
@@ -394,6 +418,7 @@ def forest_decomposition_algorithm2(
                 counter,
                 as_star_forests=True,
                 backend=peel_backend,
+                workers=workers,
             )
 
     colors_used = len(set(coloring.values()))
@@ -417,6 +442,7 @@ def _recolor_fresh(
     counter: RoundCounter,
     as_star_forests: bool,
     backend: str = "csr",
+    workers: int = 0,
 ) -> int:
     """Color ``eids`` with fresh colors starting at ``next_color`` via
     Theorem 2.1; returns the next unused color index."""
@@ -425,7 +451,12 @@ def _recolor_fresh(
     sub = graph.edge_subgraph(eids)
     pseudo = max(1, exact_pseudoarboricity(sub))
     threshold = max(1, math.floor(2.5 * pseudo))
-    partition = h_partition(sub, threshold, counter, backend=backend)
+    # Re-resolve per subgraph: the leftover is usually far below the
+    # sharding cutoff even when the host graph runs sharded.
+    peel = resolve_backend(sub, backend, DecompositionError, peeling=True)
+    partition = h_partition(
+        sub, threshold, counter, backend=peel, workers=workers
+    )
     if as_star_forests:
         star = star_forest_decomposition_via_hpartition(sub, partition, counter)
         labels = sorted(set(star.values()))

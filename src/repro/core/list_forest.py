@@ -76,6 +76,7 @@ def list_forest_decomposition(
     radius: Optional[int] = None,
     search_radius: Optional[int] = None,
     backend: str = "auto",
+    workers: int = 0,
 ) -> ListForestDecompositionResult:
     """Theorem 4.10: (1+ε)α-LFD of a multigraph.
 
@@ -123,6 +124,7 @@ def list_forest_decomposition(
                 seed=child_rng(rng, "alg2"),
                 rounds=counter,
                 backend=backend,
+                workers=workers,
             )
         coloring_0 = dict(result.colored)
         leftover = set(result.leftover)

@@ -75,6 +75,8 @@ def low_outdegree_orientation(
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
     pseudoarboricity: Optional[int] = None,
+    workers: int = 0,
+    shard_plan=None,
 ) -> Tuple[Orientation, int]:
     """A (1+ε)α-orientation; returns (orientation, out-degree bound).
 
@@ -87,10 +89,12 @@ def low_outdegree_orientation(
     * ``"exact"`` — centralized flow witness at ⌈(1+ε)α⌉ (ground truth).
 
     ``backend`` selects the graph substrate (``"csr"`` kernel,
-    ``"dict"`` reference, or ``"auto"``); the ``"exact"`` method
+    ``"dict"`` reference, ``"sharded"`` multi-worker peeling with
+    ``workers``/``shard_plan``, or ``"auto"``); the ``"exact"`` method
     ignores it.  ``pseudoarboricity`` lets callers (e.g. a
     :class:`~repro.core.session.Session`) inject the memoized exact
-    value for the ``"hpartition"`` method instead of recomputing it.
+    value for the ``"hpartition"`` method instead of recomputing it,
+    and ``shard_plan`` the session's cached shard plan.
     """
     counter = ensure_counter(rounds)
     if method == "augmentation":
@@ -102,22 +106,26 @@ def low_outdegree_orientation(
             seed=seed,
             rounds=counter,
             backend=backend,
+            workers=workers,
         )
         orientation = orientation_from_forest_decomposition(
             graph, result.coloring, counter
         )
         return orientation, result.colors_used
     if method == "hpartition":
-        peel_backend = resolve_backend(graph, backend, DecompositionError)
+        peel_backend = resolve_backend(
+            graph, backend, DecompositionError, peeling=True
+        )
         pseudo = (
             pseudoarboricity
             if pseudoarboricity is not None
             else exact_pseudoarboricity(graph)
         )
         threshold = max(1, default_threshold(pseudo, epsilon))
-        snapshot = snapshot_of(graph) if peel_backend == "csr" else None
+        snapshot = snapshot_of(graph) if peel_backend != "dict" else None
         partition = h_partition(
-            graph, threshold, counter, backend=peel_backend, snapshot=snapshot
+            graph, threshold, counter, backend=peel_backend,
+            snapshot=snapshot, workers=workers, shard_plan=shard_plan,
         )
         orientation = acyclic_orientation(
             graph, partition, counter, backend=peel_backend, snapshot=snapshot

@@ -15,7 +15,10 @@ A ``Session(graph)`` owns that shared state:
   every internal kernel path);
 * memoized exact arboricity and pseudoarboricity;
 * per-color sub-CSR adjacency extractions (:meth:`Session.sub_csr`),
-  the sharding handle for color-class passes;
+  the sharding handle for color-class passes (digest-keyed,
+  LRU-bounded);
+* the :class:`~repro.graph.shard.ShardPlan` the sharded peeling
+  backend consumes (:meth:`Session.shard_plan`);
 
 all keyed by the graph's mutation fingerprint, so mutating the graph
 transparently invalidates everything and N queries on an unchanged
@@ -32,11 +35,16 @@ throwaway session.
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+import numpy as np
+
 from ..errors import DecompositionError, GraphError, PaletteError, ValidationError
-from ..graph.csr import mutation_fingerprint, snapshot_of
+from ..graph.csr import SHARDED_AUTO_CUTOFF, mutation_fingerprint, snapshot_of
+from ..graph.shard import plan_of
 from ..local.rounds import RoundCounter, ensure_counter
 from ..nashwilliams.arboricity import exact_arboricity
 from ..nashwilliams.pseudoarboricity import (
@@ -79,15 +87,20 @@ class Session:
         :meth:`decompose` calls that do not pass their own.
     """
 
+    #: LRU bound on cached per-color sub-CSR extractions; a long-lived
+    #: session sweeping many distinct color classes stays bounded.
+    SUB_CSR_CACHE_SIZE = 64
+
     def __init__(
         self, graph, config: Optional[DecompositionConfig] = None
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else DecompositionConfig()
         self._memo: Dict[str, Tuple[Tuple[int, int, int], Any]] = {}
-        self._sub_csr: Dict[Tuple, Any] = {}
+        self._sub_csr: "OrderedDict[Tuple, Any]" = OrderedDict()
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        self._evictions: Dict[str, int] = {}
         #: wall-clock seconds of the graph-prep phase of the most
         #: recent :meth:`prepare` (cache hits make this ~0)
         self.last_prep_seconds: float = 0.0
@@ -131,11 +144,24 @@ class Session:
         """Cached CSR adjacency ``(offsets, neighbors, edge ids)`` of
         the subgraph on ``eids`` — the per-color extraction reused
         across queries that walk the same color class (e.g. a forest
-        decomposition's trees feeding a later orientation query)."""
+        decomposition's trees feeding a later orientation query).
+
+        The cache key is a fixed-width digest of the sorted edge-id
+        array (hashing the contiguous bytes once is far cheaper than
+        building and hashing a ``frozenset`` of Python ints per
+        lookup), and the cache is LRU-bounded at
+        :attr:`SUB_CSR_CACHE_SIZE` entries — evictions show up in
+        :meth:`cache_info`.
+        """
         fingerprint = self.fingerprint()
-        key = (fingerprint, frozenset(eids))
+        eid_array = np.unique(np.fromiter(eids, dtype=np.int64))
+        digest = hashlib.blake2b(
+            eid_array.tobytes(), digest_size=16
+        ).digest()
+        key = (fingerprint, int(eid_array.size), digest)
         cached = self._sub_csr.get(key)
         if cached is not None:
+            self._sub_csr.move_to_end(key)
             self._hits["sub_csr"] = self._hits.get("sub_csr", 0) + 1
             return cached
         # A mutation invalidates every cached extraction at once; drop
@@ -144,10 +170,28 @@ class Session:
         stale = [k for k in self._sub_csr if k[0] != fingerprint]
         for k in stale:
             del self._sub_csr[k]
-        arrays = self.snapshot().edge_subset_csr_arrays(sorted(key[1]))
+        arrays = self.snapshot().edge_subset_csr_arrays(eid_array)
         self._sub_csr[key] = arrays
+        while len(self._sub_csr) > self.SUB_CSR_CACHE_SIZE:
+            self._sub_csr.popitem(last=False)
+            self._evictions["sub_csr"] = (
+                self._evictions.get("sub_csr", 0) + 1
+            )
         self._misses["sub_csr"] = self._misses.get("sub_csr", 0) + 1
         return arrays
+
+    def shard_plan(self, num_shards: Optional[int] = None):
+        """The :class:`~repro.graph.shard.ShardPlan` for this graph's
+        snapshot, fingerprint-cached like the snapshot itself (the
+        plan is a pure function of the snapshot, so it invalidates
+        exactly when the snapshot does).  Tasks running on the
+        ``sharded`` backend reuse it across queries instead of
+        re-balancing shards per call."""
+        if num_shards is not None:
+            return plan_of(self.snapshot(), num_shards)
+        return self._memoized(
+            "shard_plan", lambda: plan_of(self.snapshot())
+        )
 
     def prepare(self) -> "Session":
         """Force the graph-prep phase now: snapshot + exact arboricity
@@ -163,12 +207,13 @@ class Session:
         return self
 
     def cache_info(self) -> Dict[str, Dict[str, int]]:
-        """Hit/miss counts per cached computation."""
-        keys = set(self._hits) | set(self._misses)
+        """Hit/miss/eviction counts per cached computation."""
+        keys = set(self._hits) | set(self._misses) | set(self._evictions)
         return {
             key: {
                 "hits": self._hits.get(key, 0),
                 "misses": self._misses.get(key, 0),
+                "evictions": self._evictions.get(key, 0),
             }
             for key in sorted(keys)
         }
@@ -281,6 +326,7 @@ def _run_forest(
         radius=radius,
         search_radius=search_radius,
         backend=session.substrate(config),
+        workers=config.workers,
     )
 
 
@@ -309,6 +355,7 @@ def _run_list_forest(
         radius=radius,
         search_radius=search_radius,
         backend=session.substrate(config),
+        workers=config.workers,
     )
 
 
@@ -325,6 +372,8 @@ def _run_star_forest(
         seed=config.seed,
         rounds=rounds,
         max_lll_rounds=max_lll_rounds,
+        backend=session.substrate(config),
+        workers=config.workers,
     )
 
 
@@ -357,7 +406,8 @@ def _run_list_star_forest(
         counter = ensure_counter(rounds)
         pseudo = session.pseudoarboricity()
         coloring = lsfd_theorem23(
-            session.graph, palettes, max(1, pseudo), 0.5, counter
+            session.graph, palettes, max(1, pseudo), 0.5, counter,
+            backend=session.substrate(config), workers=config.workers,
         )
         colors_used = len(set(coloring.values()))
         return StarForestResult(
@@ -385,8 +435,12 @@ def _run_orientation(
         seed=config.seed,
         rounds=counter,
         backend=session.substrate(config),
+        workers=config.workers,
         pseudoarboricity=session.pseudoarboricity()
         if method == "hpartition" else None,
+        shard_plan=session.shard_plan()
+        if method == "hpartition"
+        and session.substrate(config) == "sharded" else None,
     )
     return OrientationResult(
         orientation, bound, rounds=counter, graph=session.graph
@@ -484,6 +538,16 @@ register_backend(BackendSpec(
     name="csr",
     description="flat-array CSR kernel (vectorized peeling/traversal)",
     capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
+))
+register_backend(BackendSpec(
+    name="sharded",
+    description="multi-worker sharded peeling waves over the CSR "
+    "kernel (bit-identical to csr for every worker count); "
+    f"auto-selects at n >= {SHARDED_AUTO_CUTOFF}, csr below",
+    capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
+    resolve=lambda graph: (
+        "sharded" if graph.n >= SHARDED_AUTO_CUTOFF else "csr"
+    ),
 ))
 
 __all__ = [

@@ -25,6 +25,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ConvergenceError, DecompositionError, GraphError
+from ..graph.csr import resolve_backend
 from ..graph.forests import RootedForest, color_classes
 from ..graph.matching import hopcroft_karp
 from ..graph.multigraph import MultiGraph
@@ -127,13 +128,17 @@ def star_forest_decomposition_amr(
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     max_lll_rounds: int = 60,
+    backend: str = "auto",
+    workers: int = 0,
 ) -> StarForestResult:
     """Theorem 5.4(1): (1+O(ε))α-SFD of a simple graph.
 
     Colors matched edges via per-vertex H_v matchings with uniformly
     random α-subsets C(v) (Lemma 5.2); vertices whose matching deficit
     exceeds ``⌈2εα⌉`` are resampled (distributed LLL); the unmatched
-    leftover is recolored with fresh colors via Theorem 2.1(3).
+    leftover is recolored with fresh colors via Theorem 2.1(3) —
+    ``backend``/``workers`` select that recoloring pass's peeling
+    substrate (the matching phase itself is per-vertex work).
     """
     if not graph.is_simple():
         raise GraphError("Section 5 star-forest decomposition needs a simple graph")
@@ -223,7 +228,10 @@ def star_forest_decomposition_amr(
     stats.leftover_size = len(leftover)
 
     with counter.phase("leftover recoloring"):
-        _recolor_leftover_stars(graph, leftover, coloring, counter)
+        _recolor_leftover_stars(
+            graph, leftover, coloring, counter,
+            backend=backend, workers=workers,
+        )
 
     colors_used = len(set(coloring.values()))
     return StarForestResult(coloring, colors_used, counter, stats, graph=graph)
@@ -234,13 +242,24 @@ def _recolor_leftover_stars(
     leftover: List[int],
     coloring: Dict[int, object],
     counter: RoundCounter,
+    backend: str = "auto",
+    workers: int = 0,
 ) -> None:
     """Theorem 2.1(3) on the leftover subgraph, with fresh color names."""
     if not leftover:
         return
     sub = graph.edge_subgraph(leftover)
     pseudo = max(1, exact_pseudoarboricity(sub))
-    partition = h_partition(sub, max(1, math.floor(2.5 * pseudo)), counter)
+    # The leftover is a small subgraph; re-resolve so "sharded" (or
+    # "auto") picks the right substrate for *its* size, and keep the
+    # dict reference path out of this kernel-only helper.
+    peel = resolve_backend(sub, backend, DecompositionError, peeling=True)
+    if peel == "dict":
+        peel = "csr"
+    partition = h_partition(
+        sub, max(1, math.floor(2.5 * pseudo)), counter,
+        backend=peel, workers=workers,
+    )
     star = star_forest_decomposition_via_hpartition(sub, partition, counter)
     for eid, label in star.items():
         coloring[eid] = ("extra", label)

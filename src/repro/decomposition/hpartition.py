@@ -20,10 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import os
+
 from ..errors import DecompositionError, PaletteError
 from ..graph.csr import CSRGraph
 from ..graph.forests import RootedForest
 from ..graph.multigraph import MultiGraph
+from ..graph.shard import ShardPlan, ShardedPeelingView, plan_of
 from ..local.rounds import RoundCounter, ensure_counter
 from .cole_vishkin import three_color_rooted_forest
 
@@ -52,6 +55,8 @@ def h_partition(
     max_iterations: Optional[int] = None,
     backend: str = "csr",
     snapshot: Optional[CSRGraph] = None,
+    workers: int = 0,
+    shard_plan: Optional[ShardPlan] = None,
 ) -> HPartition:
     """Peel vertices of remaining degree <= threshold into classes.
 
@@ -61,21 +66,39 @@ def h_partition(
     peeling wave.
 
     ``backend="csr"`` (default) runs each wave vectorized on the
-    flat-array kernel; ``backend="dict"`` keeps the original
-    dict-of-sets loop (reference implementation, used by the
-    equivalence tests and benchmarks).  Both produce identical classes.
-    A prebuilt ``snapshot`` of ``graph`` can be supplied to amortize
-    conversion across several kernel-backed passes.
+    flat-array kernel; ``backend="sharded"`` runs the same waves on the
+    multi-worker sharded view (``workers``: 0 = auto; ``shard_plan``:
+    a cached :class:`~repro.graph.shard.ShardPlan`, e.g. from
+    :meth:`~repro.core.session.Session.shard_plan`); ``backend="dict"``
+    keeps the original dict-of-sets loop (reference implementation,
+    used by the equivalence tests and benchmarks).  All three produce
+    identical classes — sharded is bit-identical for every worker
+    count.  A prebuilt ``snapshot`` of ``graph`` can be supplied to
+    amortize conversion across several kernel-backed passes.
+
+    Setting ``REPRO_FORCE_SHARDED=1`` in the environment reroutes every
+    ``csr`` peel through the sharded view (worker count from
+    ``REPRO_SHARD_WORKERS``, default 2) — the CI leg that runs the full
+    fast suite on the sharded backend uses this.
     """
     counter = ensure_counter(rounds)
     cap = max_iterations if max_iterations is not None else 4 * graph.n + 8
     if backend == "dict":
         return _h_partition_dict(graph, threshold, counter, cap)
-    if backend != "csr":
+    force = os.environ.get("REPRO_FORCE_SHARDED", "").strip().lower()
+    if backend == "csr" and force not in ("", "0", "false", "no", "off"):
+        backend = "sharded"
+        if workers == 0:
+            workers = int(os.environ.get("REPRO_SHARD_WORKERS", "2"))
+    if backend not in ("csr", "sharded"):
         raise DecompositionError(f"unknown h_partition backend {backend!r}")
 
     snap = snapshot if snapshot is not None else CSRGraph.from_multigraph(graph)
-    view = snap.peeling_view()
+    if backend == "sharded":
+        plan = shard_plan if shard_plan is not None else plan_of(snap)
+        view = ShardedPeelingView(snap, plan, workers)
+    else:
+        view = snap.peeling_view()
     vertex_ids = snap.vertex_ids.tolist()
     classes: Dict[int, int] = {}
     wave = 0
@@ -165,7 +188,9 @@ def acyclic_orientation(
                 orientation[eid] = u
             else:
                 orientation[eid] = v
-    elif backend == "csr":
+    elif backend in ("csr", "sharded"):
+        # sharding only specializes the peel; the per-edge comparison
+        # is one vectorized pass either way.
         snap = snapshot if snapshot is not None else CSRGraph.from_multigraph(graph)
         if snap.num_edges == 0:
             orientation = {}

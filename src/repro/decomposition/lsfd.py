@@ -26,7 +26,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import PaletteError
-from ..graph.csr import CSRGraph
+from ..graph.csr import CSRGraph, resolve_backend
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
 from .hpartition import (
@@ -48,6 +48,8 @@ def list_star_forest_decomposition(
     pseudoarboricity: int,
     epsilon: float = 0.5,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "csr",
+    workers: int = 0,
 ) -> Dict[int, int]:
     """Compute a list-star-forest decomposition (Theorem 2.3).
 
@@ -60,6 +62,10 @@ def list_star_forest_decomposition(
         (An upper bound on) α*(G), used for the H-partition threshold.
     epsilon:
         The ε of the theorem.
+    backend, workers:
+        Peeling substrate for the H-partition phase (``"csr"`` or
+        ``"sharded"``; ``"auto"``/``"dict"`` resolve to the kernel —
+        the batch coloring itself is dict-based either way).
 
     Returns edge id -> chosen color.  Raises :class:`PaletteError` if
     some palette is exhausted (possible only when the size requirement
@@ -69,10 +75,16 @@ def list_star_forest_decomposition(
     if graph.m == 0:
         return {}
 
+    peel = resolve_backend(graph, backend, PaletteError, peeling=True)
+    if peel == "dict":
+        peel = "csr"
     threshold = max(1, int(math.floor((2.0 + epsilon / 10.0) * pseudoarboricity)))
     with counter.phase("h-partition"):
         snapshot = CSRGraph.from_multigraph(graph)
-        partition = h_partition(graph, threshold, counter, snapshot=snapshot)
+        partition = h_partition(
+            graph, threshold, counter, snapshot=snapshot,
+            backend=peel, workers=workers,
+        )
         orientation = acyclic_orientation(
             graph, partition, counter, snapshot=snapshot
         )

@@ -3,6 +3,7 @@ forests, flow, matching, generators."""
 
 from .multigraph import MultiGraph
 from .csr import CSRGraph, PeelingView, rooted_forest_arrays, snapshot_of
+from .shard import ShardPlan, ShardedPeelingView, plan_of, resolve_workers
 from .union_find import RollbackUnionFind, UnionFind
 from .traversal import (
     bfs_distances,
@@ -31,6 +32,10 @@ __all__ = [
     "MultiGraph",
     "CSRGraph",
     "PeelingView",
+    "ShardPlan",
+    "ShardedPeelingView",
+    "plan_of",
+    "resolve_workers",
     "rooted_forest_arrays",
     "snapshot_of",
     "UnionFind",

@@ -49,9 +49,13 @@ like the dict-backed loops they replace; results are byte-identical
 (see ``tests/test_kernel_equivalence.py``).  The view never touches the
 snapshot arrays, so many views can share one snapshot.
 
-This kernel is the substrate for future sharding/batching work: a
-shard is a slice of the offset array, and batched degree updates are
-``np.subtract.at`` calls (see ROADMAP "Open items").
+This kernel is the substrate for the sharded multi-worker peeling
+backend (:mod:`repro.graph.shard`): a shard is a contiguous slice of
+the offset array, per-wave degree updates are batched through
+:func:`apply_degree_decrements`, and
+:class:`~repro.graph.shard.ShardedPeelingView` subclasses
+:class:`PeelingView` with wave/reconcile bookkeeping that is
+bit-identical to the serial view regardless of worker count.
 """
 
 from __future__ import annotations
@@ -100,22 +104,67 @@ def _half_edge_csr(
 # under backend="auto": converting to arrays costs more than it saves.
 AUTO_CSR_CUTOFF = 256
 
+# Below this vertex count the sharded peeling backend falls back to the
+# serial csr kernel: per-wave coordination overhead only pays for
+# itself at scale (see repro.graph.shard).
+SHARDED_AUTO_CUTOFF = 50_000
 
-def resolve_backend(graph, backend: str, error_cls=GraphError) -> str:
+
+def resolve_backend(graph, backend: str, error_cls=GraphError, peeling: bool = False) -> str:
     """Shared backend dispatch for the traversal / decomposition layers.
 
     ``auto`` routes :class:`CSRGraph` inputs (and large ``MultiGraph``
     inputs) to the kernel and keeps small dict graphs on the reference
-    path; unknown names raise ``error_cls`` so each layer keeps its own
-    error taxonomy.
+    path.  ``sharded`` only specializes threshold peeling: peeling
+    callsites (``peeling=True``) get ``"sharded"`` at
+    ``n >= SHARDED_AUTO_CUTOFF`` and ``"csr"`` below (the multi-worker
+    wave machinery only pays for itself at scale; results are identical
+    either way), while traversal / network-decomposition callsites
+    always get ``"csr"`` — their kernels are the same arrays under any
+    worker count, and they must never fall back to the dict reference
+    path just because the peel runs sharded.  Unknown names raise
+    ``error_cls`` so each layer keeps its own error taxonomy.
     """
     if backend == "auto":
         if isinstance(graph, CSRGraph):
             return "csr"
         return "csr" if graph.n >= AUTO_CSR_CUTOFF else "dict"
+    if backend == "sharded":
+        if peeling and graph.n >= SHARDED_AUTO_CUTOFF:
+            return "sharded"
+        return "csr"
     if backend not in ("dict", "csr"):
         raise error_cls(f"unknown backend {backend!r}")
     return backend
+
+
+def apply_degree_decrements(
+    remaining: np.ndarray, neighbors: np.ndarray, n: int,
+    want_touched: bool = False,
+) -> Optional[np.ndarray]:
+    """Batched ``remaining[v] -= multiplicity of v in neighbors``.
+
+    The one degree-update primitive shared by the serial peeling wave
+    and the sharded reconcile step.  Parallel edges are handled exactly
+    like the ``np.subtract.at`` call this replaces — one decrement per
+    occurrence — but the dense path is a single ``np.bincount``
+    subtraction (buffered, several times faster than the unbuffered
+    ``ufunc.at`` scatter on dense waves) and the sparse path a
+    sorted-unique scatter that never touches the full array.
+
+    With ``want_touched=True`` returns the sorted unique decremented
+    indices (the sharded reconcile uses them to find the vertices that
+    crossed the peeling threshold); returns None otherwise.
+    """
+    if neighbors.size == 0:
+        return np.empty(0, dtype=np.int64) if want_touched else None
+    if neighbors.size * 4 >= n:
+        counts = np.bincount(neighbors, minlength=n)
+        remaining -= counts
+        return np.flatnonzero(counts) if want_touched else None
+    touched, counts = np.unique(neighbors, return_counts=True)
+    remaining[touched] -= counts
+    return touched if want_touched else None
 
 
 def bfs_distance_array(
@@ -136,6 +185,14 @@ def bfs_distance_array(
     if len(seeds) == 0:
         return dist
     frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    # Negative seeds would silently wrap around under numpy fancy
+    # indexing and out-of-range ones would raise a bare IndexError
+    # mid-sweep; both are caller bugs worth a real error.
+    if frontier[0] < 0 or frontier[-1] >= n:
+        bad = frontier[0] if frontier[0] < 0 else frontier[-1]
+        raise GraphError(
+            f"BFS seed index {int(bad)} out of range for {n} vertices"
+        )
     dist[frontier] = 0
     depth = 0
     while frontier.size and (radius is None or depth < radius):
@@ -199,6 +256,7 @@ class CSRGraph:
         "_endpoint_lists",
         "_adj_lists",
         "_vertex_id_list",
+        "_shard_plan_cache",
     )
 
     def __init__(
@@ -229,6 +287,9 @@ class CSRGraph:
         self._endpoint_lists: Optional[Tuple[Sequence, Sequence]] = None
         self._adj_lists: Optional[Tuple[List[int], List[int]]] = None
         self._vertex_id_list: Optional[List[int]] = None
+        # Default ShardPlan over this snapshot (repro.graph.shard);
+        # snapshots are immutable, so the plan never invalidates.
+        self._shard_plan_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -723,7 +784,7 @@ class PeelingView:
         half = _concat_ranges(offsets[removed], offsets[removed + 1])
         neighbors = self.snapshot.neighbor_ids[half]
         neighbors = neighbors[alive[neighbors]]
-        np.subtract.at(remaining, neighbors, 1)
+        apply_degree_decrements(remaining, neighbors, self.snapshot.num_vertices)
         return removed
 
     def _peel_leq_scalar(self, threshold: int) -> np.ndarray:

@@ -1,0 +1,412 @@
+"""Sharded multi-worker peeling over the CSR kernel.
+
+The H-partition (Algorithm 1 / Theorem 2.1) is wave-parallel by
+construction: every vertex whose remaining degree is at or below the
+threshold peels *simultaneously*.  The serial kernel executes each wave
+as one vectorized pass on a single core; this module splits the wave
+across **shards** — contiguous slices of the CSR offset array — so
+multiple workers can process one wave concurrently, and layers the
+frontier bookkeeping that makes waves cheap even on one core.
+
+Wave / reconcile contract
+-------------------------
+
+Each wave has two phases, mirroring the cluster-local round structure
+of the paper's algorithms:
+
+1. **Shard phase** — workers peel their shards against *frozen*
+   ``alive`` / ``remaining`` arrays: they read the pre-wave state,
+   compute their shard's removals and gather the half-edges those
+   removals cut, but never write shared degree state.  Work is split
+   along :class:`ShardPlan` boundaries, so the concatenated per-shard
+   results are in ascending dense-index order no matter which worker
+   finished first.
+2. **Reconcile phase** — one batched
+   :func:`~repro.graph.csr.apply_degree_decrements` update (the
+   ``np.bincount``-based helper shared with the serial wave) applies
+   every boundary decrement at once, and the vertices whose remaining
+   degree crossed the threshold become the next wave's per-shard
+   work-list.
+
+Because workers only read frozen state and the reconcile is a single
+deterministic batched update, the output is **bit-identical to the
+serial ``csr`` backend for every worker count** — the equivalence
+suite asserts dict == csr == sharded for workers in {1, 2, 4}.
+
+The threshold-crossing bookkeeping is also why the backend is faster
+on one core: a shard none of whose vertices were decremented below the
+threshold cannot produce removals and contributes nothing to the
+work-list, so steady-state waves touch only the active frontier
+instead of rescanning all ``n`` vertices.  On wave-cascade workloads
+(grid peels, long dependency chains) that turns ``O(waves * n)``
+scanning into ``O(n + total frontier)``.
+
+Threads, not processes
+----------------------
+
+Workers are **threads** (a shared :class:`ThreadPoolExecutor`), not
+processes.  The shard phase is numpy slice/gather kernels, which
+release the GIL, so threads overlap on multi-core machines while
+sharing the snapshot arrays zero-copy — no pickling, no shared-memory
+segment lifecycle, no fork-safety constraints on user code.  A process
+pool would buy nothing here: the reconcile step is one batched numpy
+call either way, and the per-wave arrays workers exchange are exactly
+the pickling cost a process pool would add.  Fan-out is skipped for
+waves below :data:`FAN_OUT_MIN_HALF_EDGES` (dispatch latency would
+exceed the work); the decision depends only on wave content, never on
+timing, so it cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import (
+    CSRGraph,
+    PeelingView,
+    SHARDED_AUTO_CUTOFF,
+    _concat_ranges,
+    apply_degree_decrements,
+)
+
+__all__ = [
+    "ShardPlan",
+    "ShardedPeelingView",
+    "SHARDED_AUTO_CUTOFF",
+    "plan_of",
+    "resolve_workers",
+]
+
+#: target vertices per shard when the plan does not say otherwise
+SHARD_TARGET_VERTICES = 8192
+#: target half-edges per shard (denser graphs get more shards)
+SHARD_TARGET_HALF_EDGES = 65536
+#: never split a graph into more shards than this
+MAX_SHARDS = 64
+
+#: waves whose removals cut fewer half-edges than this run inline:
+#: thread dispatch costs ~50us, the work would take less.  The gate
+#: reads only the wave's content (a deterministic function of the
+#: graph and threshold), so fan-out can never change results.
+FAN_OUT_MIN_HALF_EDGES = 32768
+
+#: full shard scans over fewer vertices than this run inline for the
+#: same reason (scan work is proportional to the vertex count).
+FAN_OUT_MIN_SCAN_VERTICES = 32768
+
+#: default worker count (workers=0): the machine's cores, capped —
+#: peeling waves stop scaling long before large core counts.
+MAX_AUTO_WORKERS = 4
+
+
+def resolve_workers(workers: int = 0) -> int:
+    """Concrete worker count for a ``workers`` knob (0 = auto)."""
+    if workers < 0:
+        raise GraphError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
+    return workers
+
+
+def default_num_shards(num_vertices: int, num_half_edges: int) -> int:
+    """Shard count for a snapshot: scale with both vertex count and
+    density, bounded by :data:`MAX_SHARDS` (and by ``n`` — a shard is
+    never empty by construction unless the graph is smaller than the
+    shard count)."""
+    if num_vertices <= 1:
+        return 1
+    by_vertices = -(-num_vertices // SHARD_TARGET_VERTICES)
+    by_half_edges = -(-num_half_edges // SHARD_TARGET_HALF_EDGES)
+    return max(1, min(MAX_SHARDS, num_vertices, max(by_vertices, by_half_edges)))
+
+
+class ShardPlan:
+    """A partition of a snapshot's dense vertex range into contiguous
+    slices of the CSR offset array, balanced by half-edge count.
+
+    ``boundaries`` has length ``num_shards + 1`` with
+    ``boundaries[0] == 0`` and ``boundaries[-1] == n``; shard ``s``
+    owns vertex indices ``boundaries[s]:boundaries[s+1]``.  The plan
+    depends only on the snapshot (never on the worker count), which is
+    one half of the determinism story: the same graph always shards
+    the same way, workers merely consume the shards.
+    """
+
+    __slots__ = ("boundaries", "num_shards")
+
+    def __init__(self, boundaries: np.ndarray) -> None:
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise GraphError("shard plan needs at least one shard")
+        if boundaries[0] != 0 or np.any(np.diff(boundaries) < 0):
+            raise GraphError("shard boundaries must be nondecreasing from 0")
+        self.boundaries = boundaries
+        self.num_shards = int(boundaries.size - 1)
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: CSRGraph, num_shards: Optional[int] = None
+    ) -> "ShardPlan":
+        """Balance shards so each owns roughly equal half-edges.
+
+        Vertex ``i``'s half-edges end at ``vertex_offsets[i+1]``;
+        placing boundaries at evenly spaced half-edge targets via
+        ``searchsorted`` keeps dense regions from piling onto one
+        worker while every shard stays a contiguous index slice.
+        """
+        n = snapshot.num_vertices
+        if num_shards is None:
+            num_shards = default_num_shards(n, int(snapshot.neighbor_ids.size))
+        if num_shards < 1:
+            raise GraphError(f"num_shards must be >= 1, got {num_shards}")
+        num_shards = min(num_shards, max(1, n))
+        if n == 0:
+            return cls(np.zeros(num_shards + 1, dtype=np.int64))
+        offsets = snapshot.vertex_offsets
+        total = int(offsets[-1])
+        targets = (np.arange(1, num_shards, dtype=np.int64) * total) // num_shards
+        inner = np.searchsorted(offsets[1:], targets, side="left") + 1
+        boundaries = np.concatenate(([0], inner, [n]))
+        # Degenerate distributions (one hub vertex holding most edges)
+        # can collapse several targets onto one index; keep boundaries
+        # monotone — empty shards are allowed and simply skipped.
+        np.maximum.accumulate(boundaries, out=boundaries)
+        np.minimum(boundaries, n, out=boundaries)
+        return cls(boundaries)
+
+    def shard_of(self, index: int) -> int:
+        """The shard owning dense vertex index ``index``."""
+        return int(
+            np.searchsorted(self.boundaries, index, side="right") - 1
+        )
+
+    def split(self, indices: np.ndarray) -> List[np.ndarray]:
+        """Split an ascending index array into per-shard slices (views)."""
+        cuts = np.searchsorted(indices, self.boundaries[1:-1], side="left")
+        return np.split(indices, cuts)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan(num_shards={self.num_shards}, "
+            f"n={int(self.boundaries[-1])})"
+        )
+
+
+def plan_of(snapshot: CSRGraph, num_shards: Optional[int] = None) -> ShardPlan:
+    """The snapshot's cached default :class:`ShardPlan`.
+
+    Snapshots are immutable, so the default plan is computed once and
+    cached on the instance (mirroring ``snapshot_of``'s caching on the
+    source graph); explicit ``num_shards`` bypasses the cache.
+    """
+    if num_shards is not None:
+        return ShardPlan.from_snapshot(snapshot, num_shards)
+    cached = snapshot._shard_plan_cache
+    if cached is None:
+        cached = ShardPlan.from_snapshot(snapshot)
+        snapshot._shard_plan_cache = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Worker pool (threads; see module docstring for the justification)
+# ----------------------------------------------------------------------
+
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+
+
+def _pool_for(workers: int) -> ThreadPoolExecutor:
+    """A shared thread pool per worker count.
+
+    Pools are reused across waves and views — spawning threads per
+    h-partition call would cost more than small waves themselves.
+    Idle pools hold no GIL and nearly no memory.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+        _POOLS[workers] = pool
+    return pool
+
+
+class ShardedPeelingView(PeelingView):
+    """A :class:`PeelingView` whose ``peel_leq`` waves run shard-wise.
+
+    State layout is identical to the serial view (the ``alive`` /
+    ``remaining`` arrays *are* the superclass's), plus the wave
+    bookkeeping: ``_cand`` holds the exact removal set of the next
+    wave at the current threshold — maintained by the reconcile step,
+    which knows precisely which vertices crossed the threshold.
+
+    Invariant (the reason sharded == serial, proved wave by wave):
+    after any ``peel_leq(t)`` wave, a live vertex has remaining degree
+    <= t iff it was decremented below t by that wave's reconcile —
+    otherwise it would have been removed by the wave itself.  So the
+    reconcile's threshold-crossing set *is* the serial wave's
+    ``flatnonzero(alive & (remaining <= t))``, shard-sliced.
+
+    ``pop_min`` (degeneracy delete-min) and threshold changes fall
+    back to the superclass machinery / a full shard scan; the view
+    stays correct under arbitrary interleaving, like the serial one.
+    """
+
+    __slots__ = ("plan", "workers", "_cand", "_cand_threshold")
+
+    def __init__(
+        self,
+        snapshot: CSRGraph,
+        plan: Optional[ShardPlan] = None,
+        workers: int = 0,
+    ) -> None:
+        super().__init__(snapshot)
+        self.plan = plan if plan is not None else plan_of(snapshot)
+        if int(self.plan.boundaries[-1]) != snapshot.num_vertices:
+            raise GraphError(
+                f"shard plan covers {int(self.plan.boundaries[-1])} "
+                f"vertices, snapshot has {snapshot.num_vertices}"
+            )
+        self.workers = resolve_workers(workers)
+        self._cand: Optional[np.ndarray] = None
+        self._cand_threshold: Optional[int] = None
+
+    # -- wave phase 1: per-shard work ----------------------------------
+
+    def _scan_shards(self, threshold: int) -> np.ndarray:
+        """Full shard-wise scan: the first wave (and any wave after a
+        threshold change or a scalar-mode interlude), where no
+        reconcile has prepared a work-list yet."""
+        alive = self._alive_arr
+        remaining = self._remaining_arr
+        bounds = self.plan.boundaries
+
+        def scan(shard: int) -> np.ndarray:
+            lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+            local = np.flatnonzero(
+                alive[lo:hi] & (remaining[lo:hi] <= threshold)
+            )
+            if local.size and lo:
+                local += lo
+            return local
+
+        shards = range(self.plan.num_shards)
+        n = self.snapshot.num_vertices
+        if self.workers > 1 and n >= FAN_OUT_MIN_SCAN_VERTICES:
+            parts = list(_pool_for(self.workers).map(scan, shards))
+        else:
+            parts = [scan(s) for s in shards]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def _shard_aligned_groups(self, removed: np.ndarray) -> List[np.ndarray]:
+        """Split the wave's work-list into up to ``workers`` groups of
+        whole shards (balanced by removal count, boundaries snapped to
+        the plan's shard edges).  A shard with no threshold crossings
+        contributes nothing, so inactive regions cost no work."""
+        edges = np.concatenate((
+            [0],
+            np.searchsorted(removed, self.plan.boundaries[1:-1], side="left"),
+            [removed.size],
+        ))
+        targets = (
+            np.arange(1, self.workers, dtype=np.int64) * removed.size
+        ) // self.workers
+        picks = edges[np.searchsorted(edges, targets, side="left")]
+        cuts = np.unique(np.concatenate(([0], picks, [removed.size])))
+        return [removed[a:b] for a, b in zip(cuts[:-1], cuts[1:])]
+
+    def _gather_cut_neighbors(self, removed: np.ndarray) -> np.ndarray:
+        """Live neighbors (with multiplicity) across the removed
+        vertices' half-edges — the decrements this wave must apply.
+
+        ``alive`` is frozen during the gather (removals were flagged
+        before the call), so workers read identical state no matter
+        the interleaving.  Work splits along :class:`ShardPlan`
+        boundaries (each worker group owns a run of whole shards) and
+        group results concatenate in plan order, reproducing the
+        serial gather exactly.
+        """
+        offsets = self.snapshot.vertex_offsets
+        neighbor_ids = self.snapshot.neighbor_ids
+        alive = self._alive_arr
+
+        def gather(part: np.ndarray) -> np.ndarray:
+            half = _concat_ranges(offsets[part], offsets[part + 1])
+            nbrs = neighbor_ids[half]
+            return nbrs[alive[nbrs]]
+
+        total_half = int(
+            (offsets[removed + 1] - offsets[removed]).sum()
+        ) if removed.size else 0
+        if (
+            self.workers > 1
+            and total_half >= FAN_OUT_MIN_HALF_EDGES
+            and removed.size >= self.workers
+        ):
+            groups = self._shard_aligned_groups(removed)
+            if len(groups) > 1:
+                parts = list(_pool_for(self.workers).map(gather, groups))
+                parts = [p for p in parts if p.size]
+                if not parts:
+                    return np.empty(0, dtype=np.int64)
+                return (
+                    parts[0] if len(parts) == 1 else np.concatenate(parts)
+                )
+        return gather(removed)
+
+    # -- the wave ------------------------------------------------------
+
+    def peel_leq(self, threshold: int) -> np.ndarray:
+        """One sharded wave; see :meth:`PeelingView.peel_leq`.
+
+        Returns the removed dense indices (ascending), bit-identical
+        to the serial view's wave for any plan and worker count.
+        """
+        if self._alive_arr is None:
+            # Scalar mode (after pop_min): the frozen-array wave
+            # machinery no longer applies; delegate and invalidate.
+            self._cand = None
+            self._cand_threshold = None
+            return self._peel_leq_scalar(threshold)
+
+        if self._cand is not None and self._cand_threshold == threshold:
+            removed = self._cand
+        else:
+            removed = self._scan_shards(threshold)
+        self._cand = None
+        self._cand_threshold = None
+        if removed.size == 0:
+            return removed
+
+        alive = self._alive_arr
+        remaining = self._remaining_arr
+        alive[removed] = False
+        self.alive_count -= int(removed.size)
+
+        neighbors = self._gather_cut_neighbors(removed)
+
+        # Reconcile: one batched bincount-based update, shared with the
+        # serial wave, then keep exactly the vertices that crossed the
+        # threshold as the next wave's work-list.
+        touched = apply_degree_decrements(
+            remaining, neighbors, self.snapshot.num_vertices,
+            want_touched=True,
+        )
+        self._cand = touched[remaining[touched] <= threshold]
+        self._cand_threshold = threshold
+        return removed
+
+    def pop_min(self):
+        """Delete-min delegates to the serial scalar machinery; any
+        prepared wave work-list is invalidated by the removal."""
+        self._cand = None
+        self._cand_threshold = None
+        return super().pop_min()

@@ -29,11 +29,13 @@ a failure always reproduces.
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.errors import GraphError, ValidationError
 from repro.graph import CSRGraph, MultiGraph, RootedForest, rooted_forest_arrays
-from repro.graph.csr import snapshot_of
+from repro.graph.csr import bfs_distance_array, resolve_backend, snapshot_of
+from repro.graph.shard import ShardPlan, ShardedPeelingView, plan_of
 from repro.graph.traversal import (
     bfs_distances,
     connected_components,
@@ -374,6 +376,186 @@ def test_rooted_forest_arrays_rejects_cycles():
     snap = CSRGraph.from_multigraph(graph)
     with pytest.raises(GraphError):
         rooted_forest_arrays(snap, graph.edge_ids())
+
+
+# ----------------------------------------------------------------------
+# Sharded multi-worker peeling backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 5))
+def test_sharded_peeling_matches_reference(seed):
+    """dict == csr == sharded H-partition classes and charged rounds,
+    for every worker count and shard granularity — the backend's
+    bit-identity contract.  The corpus includes parallel-edge and
+    gappy-id instances; tiny shard counts make every wave cross shard
+    boundaries."""
+    graph = random_multigraph(seed)
+    d, _ = degeneracy_ordering(graph)
+    threshold = max(1, d)
+    ref_rounds = RoundCounter()
+    ref = h_partition(graph, threshold, ref_rounds, backend="dict")
+    csr_partition = h_partition(graph, threshold, backend="csr")
+    assert csr_partition.classes == ref.classes
+    snap = snapshot_of(graph)
+    for workers in (1, 2, 4):
+        for num_shards in (1, 3, 7):
+            plan = ShardPlan.from_snapshot(snap, num_shards)
+            rounds = RoundCounter()
+            sharded = h_partition(
+                graph, threshold, rounds, backend="sharded",
+                snapshot=snap, workers=workers, shard_plan=plan,
+            )
+            assert sharded.classes == ref.classes
+            assert sharded.threshold == ref.threshold
+            assert rounds.total == ref_rounds.total
+
+
+def test_sharded_boundary_heavy_parallel_edges():
+    """Parallel edges straddling every shard boundary: multiplicities
+    must decrement once per copy across the reconcile, with one shard
+    per vertex (all decrements are boundary decrements)."""
+    graph = MultiGraph.with_vertices(12)
+    for i in range(11):
+        for _ in range(1 + i % 3):  # 1-3 parallel copies per pair
+            graph.add_edge(i, i + 1)
+    ref = h_partition(graph, 3, backend="dict")
+    assert ref.num_classes > 1  # a real wave cascade, not one wave
+    snap = snapshot_of(graph)
+    for num_shards in (2, 6, 12):
+        plan = ShardPlan.from_snapshot(snap, num_shards)
+        for workers in (1, 2, 4):
+            sharded = h_partition(
+                graph, 3, backend="sharded", snapshot=snap,
+                workers=workers, shard_plan=plan,
+            )
+            assert sharded.classes == ref.classes
+
+
+def test_sharded_view_interleaves_disciplines():
+    """pop_min after sharded peel_leq (and a wave after pop_min) stays
+    consistent: the scalar-mode fallback must see the updated state and
+    the stale wave work-list must be discarded."""
+    graph = MultiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (2, 4)])
+    snap = CSRGraph.from_multigraph(graph)
+    reference = snap.peeling_view()
+    view = ShardedPeelingView(snap, ShardPlan.from_snapshot(snap, 3), 2)
+    assert view.peel_leq(1).tolist() == reference.peel_leq(1).tolist()
+    assert view.pop_min() == reference.pop_min()
+    assert view.peel_leq(5).tolist() == reference.peel_leq(5).tolist()
+    assert view.alive_count == reference.alive_count == 0
+
+
+def test_sharded_view_threshold_changes_between_waves():
+    """The wave work-list is threshold-specific; changing the threshold
+    between waves must trigger a fresh shard scan, not reuse of the old
+    candidate set."""
+    rng = random.Random(77)
+    graph = MultiGraph.with_vertices(40)
+    for _ in range(90):
+        u, v = rng.sample(range(40), 2)
+        graph.add_edge(u, v)
+    snap = snapshot_of(graph)
+    reference = snap.peeling_view()
+    view = ShardedPeelingView(snap, ShardPlan.from_snapshot(snap, 5), 2)
+    for threshold in (1, 3, 2, 6, 4, 100):
+        assert view.peel_leq(threshold).tolist() == \
+            reference.peel_leq(threshold).tolist()
+        assert view.alive_count == reference.alive_count
+        if view.alive_count == 0:
+            break
+    assert view.alive_count == 0
+
+
+def test_shard_plan_properties():
+    graph = random_multigraph(7)
+    snap = snapshot_of(graph)
+    for num_shards in (1, 2, 5, snap.num_vertices):
+        plan = ShardPlan.from_snapshot(snap, num_shards)
+        bounds = plan.boundaries
+        assert bounds[0] == 0 and bounds[-1] == snap.num_vertices
+        assert np.all(np.diff(bounds) >= 0)
+        assert plan.num_shards == min(num_shards, snap.num_vertices)
+        for index in range(snap.num_vertices):
+            shard = plan.shard_of(index)
+            assert bounds[shard] <= index < bounds[shard + 1]
+    # split() partitions an ascending index array along the boundaries
+    plan = ShardPlan.from_snapshot(snap, 4)
+    indices = np.arange(snap.num_vertices, dtype=np.int64)
+    parts = plan.split(indices)
+    assert len(parts) == plan.num_shards
+    assert np.concatenate(parts).tolist() == indices.tolist()
+
+
+def test_shard_plan_default_is_cached_on_snapshot():
+    graph = random_multigraph(11)
+    snap = snapshot_of(graph)
+    assert plan_of(snap) is plan_of(snap)
+    assert plan_of(snap, 3) is not plan_of(snap, 3)  # explicit = fresh
+
+
+def test_sharded_plan_mismatch_rejected():
+    small = snapshot_of(MultiGraph.with_vertices(3))
+    large = snapshot_of(MultiGraph.with_vertices(9))
+    with pytest.raises(GraphError):
+        ShardedPeelingView(large, plan_of(small))
+
+
+def test_resolve_backend_sharded_size_fallback():
+    from repro.graph.csr import SHARDED_AUTO_CUTOFF
+
+    small = MultiGraph.with_vertices(10)
+    assert resolve_backend(small, "sharded", peeling=True) == "csr"
+
+    class _FakeBig:
+        n = SHARDED_AUTO_CUTOFF
+
+    assert resolve_backend(_FakeBig(), "sharded", peeling=True) == "sharded"
+    # Non-peeling layers (traversal, network decomposition) must get
+    # the csr kernel, never "sharded" (their dispatch would silently
+    # fall back to the dict reference path) and never "dict".
+    assert resolve_backend(_FakeBig(), "sharded") == "csr"
+    assert resolve_backend(small, "sharded") == "csr"
+
+
+def test_traversal_accepts_sharded_backend_on_kernel_path():
+    """Regression: bfs_distances(backend="sharded") must run the CSR
+    kernel (identical results), not the dict reference loop."""
+    graph = random_multigraph(3)
+    sources = graph.vertices()[:2]
+    assert bfs_distances(graph, sources, backend="sharded") == \
+        bfs_distances(graph, sources, backend="csr")
+
+
+def test_h_partition_sharded_empty_and_tiny_graphs():
+    empty = MultiGraph()
+    assert h_partition(empty, 1, backend="sharded").classes == {}
+    single = MultiGraph.with_vertices(1)
+    assert h_partition(single, 1, backend="sharded").classes == \
+        h_partition(single, 1, backend="dict").classes
+
+
+# ----------------------------------------------------------------------
+# BFS seed validation (regression: negative seeds used to wrap around)
+# ----------------------------------------------------------------------
+
+
+def test_bfs_distance_array_rejects_out_of_range_seeds():
+    graph = MultiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    snap = snapshot_of(graph)
+    with pytest.raises(GraphError, match="out of range"):
+        bfs_distance_array(
+            snap.vertex_offsets, snap.neighbor_ids, snap.num_vertices, [-1]
+        )
+    with pytest.raises(GraphError, match="out of range"):
+        snap.distance_array([0, 4])
+    # Regression: a negative seed previously meant "start from vertex
+    # n-1" via numpy wraparound — silently wrong distances, no error.
+    with pytest.raises(GraphError, match="out of range"):
+        snap.distance_array([-1])
+    # In-range seeds still work, and the empty seed set stays legal.
+    assert snap.distance_array([0]).tolist() == [0, 1, 2, 3]
+    assert snap.distance_array([]).tolist() == [-1, -1, -1, -1]
 
 
 def test_peeling_view_interleaves_disciplines():
