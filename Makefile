@@ -19,9 +19,11 @@ lint:
 	python tools/lint.py
 
 # Dict vs flat-array kernel on the peeling + traversal hot paths
-# (asserts >= 2x at n >= 2000), session reuse (>= 1.5x warm prep), and
-# sharded vs serial peeling (>= 1.5x at n >= 50k); writes
-# benchmarks/results/BENCH_*.json.
+# (asserts >= 2x at n >= 2000), session reuse (>= 1.5x warm prep),
+# sharded vs serial peeling (>= 1.5x at n >= 50k), and the
+# engine-backed parallel BFS paths (>= 1.5x on dense-frontier
+# workloads at n >= 50k, outputs bit-identical per worker count);
+# writes benchmarks/results/BENCH_*.json (incl. BENCH_parallel_bfs).
 bench-kernel:
 	python benchmarks/bench_kernel.py
 

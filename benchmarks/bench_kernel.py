@@ -20,6 +20,15 @@ Four sections, one per substrate milestone:
   path's worst case, where it rescans all n vertices per wave) and
   verifies bit-identical classes everywhere; wave-poor workloads are
   reported unasserted (sharding is deliberately ~1x there).
+* ``bench_parallel_bfs`` — the PR-5 engine-backed BFS paths vs. the
+  serial csr sweeps at n >= 50k, workers in {1, 2, 4}.  Asserts
+  >= 1.5x on the dense-frontier workloads (multi-seed reachability,
+  per-color-class sub-CSR scans: the engine reconcile scatter-dedups
+  each wave in O(n + h) where the serial sweep sorts in
+  O(h log h)) with outputs asserted bit-identical for every worker
+  count; sparse-frontier BFS and the sequential ball carving are
+  reported unasserted (~1x single-core by design, thread fan-out adds
+  on multi-core).
 
 All sections check output equality where applicable, assert their
 speedup floors (skipped when ``BENCH_SNAPSHOT=1`` — shared CI runners
@@ -578,6 +587,178 @@ def run_shard_comparison():
     return rows
 
 
+# ----------------------------------------------------------------------
+# Engine-backed parallel BFS vs. the serial csr kernel
+# ----------------------------------------------------------------------
+
+PARALLEL_BFS_SPEEDUP_FLOOR = 1.5
+PARALLEL_BFS_REPEATS = 5
+PARALLEL_BFS_WORKER_COUNTS = (1, 2, 4)
+
+# (name, asserted, kind, factory).  The asserted workloads are
+# dense-frontier BFS sweeps (multi-seed reachability and per-color-
+# class scans): the serial csr sweep dedups every wave with a sort
+# (O(h log h)) while the engine reconcile scatter-dedups in O(n + h),
+# so the parallel path wins even single-core — mirroring the sharded
+# peel's frontier-proportional story.  Sparse-frontier BFS (grid) and
+# the ball carving are reported unasserted: their per-wave arrays are
+# small, the engine is honestly ~1x there on one core, and the thread
+# fan-out only adds on multi-core machines.
+PARALLEL_BFS_WORKLOADS = [
+    ("pref n=120k d=5 multi-seed bfs", True, "bfs",
+     lambda: preferential_attachment(120000, 5, seed=51)),
+    ("forests n=100k a=5 color-class bfs", True, "color_bfs",
+     lambda: union_of_random_forests(100000, 5, seed=52)),
+    ("grid 350x350 multi-seed bfs", False, "bfs",
+     lambda: grid_graph(350, 350)),
+    ("pref n=120k d=5 ball carving", False, "carving",
+     lambda: preferential_attachment(120000, 5, seed=51)),
+]
+
+
+def _parallel_bfs_case(graph, kind):
+    """``(serial_fn, parallel_fn_for_workers)`` for one workload."""
+    from repro.graph.csr import bfs_distance_array
+    from repro.parallel import engine_for, engine_for_offsets
+    from repro.parallel import parallel_bfs_distance_array
+
+    snap = snapshot_of(graph)
+    if kind == "bfs":
+        n = snap.num_vertices
+        seeds = [0, n // 3, (2 * n) // 3]
+        offsets, nbr = snap.vertex_offsets, snap.neighbor_ids
+
+        def serial():
+            return bfs_distance_array(offsets, nbr, n, seeds)
+
+        def parallel(workers):
+            return parallel_bfs_distance_array(
+                offsets, nbr, n, seeds, engine=engine_for(snap, workers)
+            )
+
+    elif kind == "color_bfs":
+        # One color class of the forest union (every 5th edge position
+        # approximates a per-color subset) extracted as a sub-CSR over
+        # the host indices — the Session.sub_csr shape.
+        eids = snap.edge_id.tolist()[::5]
+        offsets, nbr, _eids = snap.edge_subset_csr_arrays(eids)
+        n = snap.num_vertices
+        seeds = [0, n // 2]
+
+        def serial():
+            return bfs_distance_array(offsets, nbr, n, seeds)
+
+        def parallel(workers):
+            return parallel_bfs_distance_array(
+                offsets, nbr, n, seeds,
+                engine=engine_for_offsets(offsets, workers),
+            )
+
+    else:  # carving
+        def serial():
+            return network_decomposition(graph, backend="csr").classes
+
+        def parallel(workers):
+            return network_decomposition(
+                graph, backend="parallel", workers=workers
+            ).classes
+
+    return serial, parallel
+
+
+def run_parallel_bfs_comparison():
+    import numpy as np
+
+    rows = []
+    json_rows = []
+    asserted = []
+    for name, assertable, kind, make in PARALLEL_BFS_WORKLOADS:
+        graph = make()
+        serial, parallel = _parallel_bfs_case(graph, kind)
+        reference = serial()
+        csr_ms = _best(serial, PARALLEL_BFS_REPEATS)
+        best_speedup = 0.0
+        for workers in PARALLEL_BFS_WORKER_COUNTS:
+            result = parallel(workers)
+            # The engine's contract: bit-identical outputs for every
+            # worker count.
+            if isinstance(reference, np.ndarray):
+                assert np.array_equal(result, reference)
+            else:
+                assert result == reference
+            parallel_ms = _best(lambda: parallel(workers), PARALLEL_BFS_REPEATS)
+            speedup = csr_ms / parallel_ms
+            best_speedup = max(best_speedup, speedup)
+            rows.append(
+                (
+                    name,
+                    graph.n,
+                    graph.m,
+                    kind,
+                    workers,
+                    f"{csr_ms * 1e3:.1f}",
+                    f"{parallel_ms * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": name,
+                    "n": graph.n,
+                    "m": graph.m,
+                    "op": kind,
+                    "workers": workers,
+                    "csr_ms": round(csr_ms * 1e3, 3),
+                    "parallel_ms": round(parallel_ms * 1e3, 3),
+                    "speedup": round(speedup, 3),
+                }
+            )
+        if assertable:
+            asserted.append((name, best_speedup))
+
+    emit(
+        "parallel_bfs",
+        format_table(
+            "Engine-backed parallel BFS vs serial csr kernel (n >= 50k)",
+            [
+                "workload",
+                "n",
+                "m",
+                "op",
+                "workers",
+                "csr ms",
+                "parallel ms",
+                "speedup",
+            ],
+            rows,
+        ),
+    )
+    emit_json(
+        "BENCH_parallel_bfs",
+        {
+            "bench": "parallel_bfs",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": PARALLEL_BFS_SPEEDUP_FLOOR,
+            "worker_counts": list(PARALLEL_BFS_WORKER_COUNTS),
+            "rows": json_rows,
+            "asserted": [
+                {"workload": name, "best_speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
+
+    if not SNAPSHOT_MODE:
+        for name, best in asserted:
+            assert best >= PARALLEL_BFS_SPEEDUP_FLOOR, (
+                f"{name}: best parallel speedup {best:.2f}x < "
+                f"{PARALLEL_BFS_SPEEDUP_FLOOR}x at n >= 50k — the "
+                "engine-backed BFS path's reason to exist"
+            )
+    return rows
+
+
 def bench_kernel(benchmark=None):
     if benchmark is None:
         run_kernel_comparison()
@@ -614,8 +795,18 @@ def bench_shard(benchmark=None):
         once(benchmark, run_shard_comparison)
 
 
+def bench_parallel_bfs(benchmark=None):
+    if benchmark is None:
+        run_parallel_bfs_comparison()
+    else:
+        from harness import once
+
+        once(benchmark, run_parallel_bfs_comparison)
+
+
 if __name__ == "__main__":
     bench_kernel()
     bench_traversal()
     bench_session()
     bench_shard()
+    bench_parallel_bfs()

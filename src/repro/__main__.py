@@ -12,10 +12,12 @@ Usage examples::
     python -m repro generate forest-union --n 100 --alpha 4 --out graph.txt
 
 Graphs are plain edge lists (see :mod:`repro.graph.io`).  Every
-decomposition subcommand takes ``--backend auto|dict|csr`` (graph
-substrate) and ``--json`` (print the structured ``to_json()`` payload
-— colors, stats, config, round accounting — instead of the human
-report, so downstream tooling stops parsing printed text).
+decomposition subcommand takes ``--backend
+auto|dict|csr|sharded|parallel`` (graph substrate; the wave-engine
+backends take ``--workers``) and ``--json`` (print the structured
+``to_json()`` payload — colors, stats, config, round accounting —
+instead of the human report, so downstream tooling stops parsing
+printed text).
 """
 
 from __future__ import annotations
@@ -51,12 +53,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="arboricity if known (else computed exactly)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", default="auto",
-                        help="graph substrate: auto|dict|csr|sharded or "
-                        "any registered backend (default: auto)")
+                        help="graph substrate: auto|dict|csr|sharded|"
+                        "parallel or any registered backend "
+                        "(default: auto)")
     parser.add_argument("--workers", type=int, default=0,
-                        help="worker threads for the sharded peeling "
-                        "backend (0 = auto; results are identical for "
-                        "every value)")
+                        help="worker threads for the wave-engine "
+                        "backends (sharded peeling / parallel BFS; "
+                        "0 = auto; results are identical for every "
+                        "value)")
     parser.add_argument("--out", default=None, help="write coloring here")
     parser.add_argument("--json", action="store_true",
                         help="print the structured result (to_json()) "

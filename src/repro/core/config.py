@@ -21,10 +21,15 @@ Semantics of the shared fields:
 * ``backend`` — graph-substrate name resolved through the backend
   registry: ``"auto"`` (default), ``"dict"`` (byte-identical reference
   paths), ``"csr"`` (flat-array kernel), ``"sharded"`` (multi-worker
-  peeling waves at ``n >= 50k``, csr below), or any registered name.
-* ``workers`` — worker count for the sharded peeling backend; ``0``
-  (default) auto-sizes to the machine.  Results are bit-identical for
-  every value, so this is purely a throughput knob.
+  peeling waves at ``n >= 50k``, csr below), ``"parallel"`` (the full
+  wave-engine substrate: sharded peeling plus engine-backed BFS paths
+  — ball carving, color-class scans, diameter reduction), or any
+  registered name.
+* ``workers`` — worker count for the wave-engine backends
+  (``sharded`` / ``parallel``); ``0`` (default) auto-sizes to the
+  machine (one cached ``REPRO_SHARD_WORKERS`` read, cores otherwise).
+  Results are bit-identical for every value, so this is purely a
+  throughput knob.
 * ``diameter_mode`` — forest-diameter bounding per Corollary 2.5:
   ``None`` (unbounded), ``"safe"``, ``"strong"``, or ``"auto"``.
 * ``cut_rule`` — CUT implementation per Theorem 4.2.

@@ -24,6 +24,18 @@ modes mirror the two cases of Proposition 2.4:
 
 The deleted edges are returned with a child-to-parent orientation whose
 max out-degree certifies their pseudo-arboricity.
+
+Backends: ``depth_cut`` / ``reduce_diameter`` accept the shared
+``backend`` knob.  The dict path (default for direct callers) roots
+every color class with :class:`~repro.graph.forests.RootedForest`; the
+kernel path roots large classes on flat arrays
+(:func:`~repro.graph.csr.rooted_forest_arrays` — identical root
+selection and depths, one vectorized multi-source BFS per class) and
+the parallel path additionally fans each BFS level through the shared
+:class:`~repro.parallel.engine.WaveEngine`.  Small color classes stay
+on the dict path under any kernel backend (the array extraction costs
+more than the walk there); every path produces byte-identical cuts
+because tree depths are unique.
 """
 
 from __future__ import annotations
@@ -31,13 +43,21 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..errors import DecompositionError
+from ..graph.csr import resolve_backend, rooted_forest_arrays, snapshot_of
 from ..graph.forests import RootedForest, color_classes
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
+from ..parallel.engine import engine_for
 from ..rng import SeedLike, make_rng
 
 Coloring = Dict[int, int]
+
+#: color classes below this edge count keep the dict rooting — the
+#: sub-CSR extraction costs more than the walk (outputs identical).
+DEPTH_CUT_ARRAYS_MIN_EDGES = 64
 
 
 class DiameterReductionResult:
@@ -68,19 +88,58 @@ def depth_cut(
     z: int,
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "dict",
+    workers: int = 0,
 ) -> DiameterReductionResult:
     """Cut every color forest at a random depth residue mod ``z``.
 
-    The result's trees have strong diameter at most ``2(z-1)``.
+    The result's trees have strong diameter at most ``2(z-1)``.  Every
+    backend produces the same cuts (see the module docstring); the
+    default stays on the dict reference path, the pipelines pass their
+    own backend through.
     """
     if z < 1:
         raise DecompositionError(f"z must be >= 1, got {z}")
     counter = ensure_counter(rounds)
     rng = make_rng(seed)
+    resolved = resolve_backend(graph, backend, DecompositionError)
+    engine = None
+    if resolved == "parallel":
+        engine = engine_for(snapshot_of(graph), workers)
     kept: Coloring = {}
     deleted: List[int] = []
     deletion_tail: Dict[int, int] = {}
     for color, eids in sorted(color_classes(coloring).items()):
+        use_arrays = (
+            resolved in ("csr", "parallel")
+            and len(eids) >= DEPTH_CUT_ARRAYS_MIN_EDGES
+        )
+        if use_arrays:
+            snap = snapshot_of(graph)
+            arrays = rooted_forest_arrays(snap, eids, engine=engine)
+            residue = rng.randrange(z)
+            positions = snap.edge_positions(eids)
+            du = arrays.depth[snap.edge_u[positions]]
+            dv = arrays.depth[snap.edge_v[positions]]
+            # The child endpoint of a forest edge is the deeper one
+            # (depths differ by exactly 1); cutting the parent edges of
+            # vertices at depth ≡ residue (mod z) is cutting the edges
+            # whose child depth hits the residue.
+            is_cut = (np.maximum(du, dv) % z) == (residue % z)
+            child_ids = np.where(
+                du > dv,
+                snap.edge_u_ids[positions],
+                snap.edge_v_ids[positions],
+            )
+            for eid, cut, child in zip(
+                eids, is_cut.tolist(), child_ids.tolist()
+            ):
+                if cut:
+                    deleted.append(eid)
+                    deletion_tail[eid] = int(child)
+                else:
+                    kept[eid] = coloring[eid]
+            continue
         forest = RootedForest(graph, eids)
         residue = rng.randrange(z)
         cut_edges = set(forest.edges_at_depth_residue(residue, z))
@@ -163,6 +222,8 @@ def reduce_diameter(
     mode: str = "auto",
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
+    backend: str = "dict",
+    workers: int = 0,
 ) -> DiameterReductionResult:
     """Corollary 2.5 front-end: pick ``z`` by regime.
 
@@ -171,6 +232,9 @@ def reduce_diameter(
     * ``mode="safe"``: ``z = ⌈20 log₂(n)/ε⌉`` — diameter O(log n/ε)
       with per-vertex load ~ εα/20 in expectation at any α.
     * ``mode="auto"``: strong when α ≥ log₂ n, else safe.
+
+    ``backend`` / ``workers`` select the rooting substrate per color
+    class (see :func:`depth_cut`); cuts are identical on every backend.
     """
     n = max(graph.n, 2)
     if mode == "auto":
@@ -181,4 +245,7 @@ def reduce_diameter(
         z = max(2, math.ceil(20.0 * math.log2(n) / epsilon))
     else:
         raise DecompositionError(f"unknown diameter-reduction mode {mode!r}")
-    return depth_cut(graph, coloring, z, seed=seed, rounds=rounds)
+    return depth_cut(
+        graph, coloring, z, seed=seed, rounds=rounds,
+        backend=backend, workers=workers,
+    )

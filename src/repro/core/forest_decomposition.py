@@ -53,14 +53,18 @@ Palettes = Dict[int, Sequence[int]]
 def _split_backend(backend: str) -> Tuple[str, str]:
     """``(peel, substrate)`` substrates for a pipeline backend string.
 
-    The sharded backend only specializes threshold peeling; the
-    traversal / network-decomposition / color-class phases run on the
-    plain CSR arrays either way.
+    The sharded backend only specializes threshold peeling (its
+    traversal phases run on plain CSR arrays); the parallel backend
+    additionally routes the BFS-shaped phases (ball carving,
+    color-class scans, diameter reduction) through the shared wave
+    engine — ``resolve_backend`` gates each callsite by size.
     """
     if backend == "dict":
         return "dict", "dict"
     if backend == "sharded":
         return "sharded", "csr"
+    if backend == "parallel":
+        return "sharded", "parallel"
     return "csr", "csr"
 
 
@@ -160,7 +164,7 @@ def algorithm2(
         backends and worker counts (certified by the
         kernel-equivalence suite).
     """
-    if backend not in ("auto", "dict", "csr", "sharded"):
+    if backend not in ("auto", "dict", "csr", "sharded", "parallel"):
         raise DecompositionError(f"unknown backend {backend!r}")
     counter = ensure_counter(rounds)
     rng = make_rng(seed)
@@ -168,6 +172,7 @@ def algorithm2(
     state = PartialListForestDecomposition(
         graph, palettes,
         backend="csr" if backend == "sharded" else backend,
+        workers=workers,
     )
     if graph.m == 0:
         return Algorithm2Result(state, stats, counter)
@@ -222,7 +227,8 @@ def algorithm2(
                 state.csr_snapshot(), max(1, min(2 * d, 2 * n)), backend="csr"
             )
         nd = network_decomposition(
-            power, counter, radius_cost=2 * d, backend=substrate
+            power, counter, radius_cost=2 * d, backend=substrate,
+            workers=workers,
         )
 
     log_n = max(1, math.ceil(math.log2(n + 1)))
@@ -408,6 +414,8 @@ def forest_decomposition_algorithm2(
                 mode=diameter_mode,
                 seed=child_rng(rng, "diam"),
                 rounds=counter,
+                backend=backend,
+                workers=workers,
             )
             coloring = dict(reduction.kept)
             next_color = _recolor_fresh(

@@ -139,6 +139,8 @@ def list_forest_decomposition(
                 mode="auto",
                 seed=child_rng(rng, "diam"),
                 rounds=counter,
+                backend=backend,
+                workers=workers,
             )
         coloring_0 = dict(reduction.kept)
         leftover.update(reduction.deleted)
@@ -147,7 +149,8 @@ def list_forest_decomposition(
         try:
             with counter.phase("reserve LSFD"):
                 coloring_1 = _reserve_lsfd(
-                    graph, sorted(leftover), split.palettes_1, counter
+                    graph, sorted(leftover), split.palettes_1, counter,
+                    backend=backend, workers=workers,
                 )
         except ReservePaletteError:
             if attempt == max_attempts - 1:
@@ -190,9 +193,14 @@ def _reserve_lsfd(
     leftover: List[int],
     reserve_palettes: Palettes,
     counter: RoundCounter,
+    backend: str = "csr",
+    workers: int = 0,
 ) -> Dict[int, int]:
     """Color the leftover edges from their reserve palettes via
-    Theorem 2.3 (a star forest is in particular a forest)."""
+    Theorem 2.3 (a star forest is in particular a forest).  The
+    H-partition phase inherits the pipeline's backend/workers — the
+    leftover subgraph re-resolves per its own size, so small leftovers
+    stay serial."""
     if not leftover:
         return {}
     sub = graph.edge_subgraph(leftover)
@@ -204,4 +212,7 @@ def _reserve_lsfd(
             f"reserve palettes empty for {len(deficient)} leftover edges; "
             "increase palette sizes or epsilon"
         )
-    return list_star_forest_decomposition(sub, palettes, pseudo, 0.5, counter)
+    return list_star_forest_decomposition(
+        sub, palettes, pseudo, 0.5, counter,
+        backend=backend, workers=workers,
+    )

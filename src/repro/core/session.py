@@ -17,8 +17,11 @@ A ``Session(graph)`` owns that shared state:
 * per-color sub-CSR adjacency extractions (:meth:`Session.sub_csr`),
   the sharding handle for color-class passes (digest-keyed,
   LRU-bounded);
-* the :class:`~repro.graph.shard.ShardPlan` the sharded peeling
-  backend consumes (:meth:`Session.shard_plan`);
+* the :class:`~repro.parallel.plan.ShardPlan` the wave-engine
+  backends consume (:meth:`Session.shard_plan`), plus
+  :meth:`Session.wave_engine` handing out the shared
+  :class:`~repro.parallel.engine.WaveEngine` over it (pool stats show
+  up in :meth:`Session.cache_info` under ``"worker_pools"``);
 
 all keyed by the graph's mutation fingerprint, so mutating the graph
 transparently invalidates everything and N queries on an unchanged
@@ -45,6 +48,7 @@ import numpy as np
 from ..errors import DecompositionError, GraphError, PaletteError, ValidationError
 from ..graph.csr import SHARDED_AUTO_CUTOFF, mutation_fingerprint, snapshot_of
 from ..graph.shard import plan_of
+from ..parallel.engine import engine_for, pool_stats
 from ..local.rounds import RoundCounter, ensure_counter
 from ..nashwilliams.arboricity import exact_arboricity
 from ..nashwilliams.pseudoarboricity import (
@@ -181,17 +185,28 @@ class Session:
         return arrays
 
     def shard_plan(self, num_shards: Optional[int] = None):
-        """The :class:`~repro.graph.shard.ShardPlan` for this graph's
+        """The :class:`~repro.parallel.plan.ShardPlan` for this graph's
         snapshot, fingerprint-cached like the snapshot itself (the
         plan is a pure function of the snapshot, so it invalidates
         exactly when the snapshot does).  Tasks running on the
-        ``sharded`` backend reuse it across queries instead of
+        wave-engine backends reuse it across queries instead of
         re-balancing shards per call."""
         if num_shards is not None:
             return plan_of(self.snapshot(), num_shards)
         return self._memoized(
             "shard_plan", lambda: plan_of(self.snapshot())
         )
+
+    def wave_engine(self, workers: int = 0):
+        """A :class:`~repro.parallel.engine.WaveEngine` over this
+        graph's cached snapshot and shard plan — the runtime the
+        ``sharded`` / ``parallel`` backends execute their waves on.
+        ``workers=0`` falls back to the session config's ``workers``
+        knob (then to the auto sizing); worker count never changes
+        results."""
+        if workers == 0:
+            workers = self.config.workers
+        return engine_for(self.snapshot(), workers, self.shard_plan())
 
     def prepare(self) -> "Session":
         """Force the graph-prep phase now: snapshot + exact arboricity
@@ -207,9 +222,12 @@ class Session:
         return self
 
     def cache_info(self) -> Dict[str, Dict[str, int]]:
-        """Hit/miss/eviction counts per cached computation."""
+        """Hit/miss/eviction counts per cached computation, plus the
+        process-wide wave-engine pool stats under ``"worker_pools"``
+        (live pools, their total threads, waves dispatched to a pool —
+        see :func:`repro.parallel.engine.pool_stats`)."""
         keys = set(self._hits) | set(self._misses) | set(self._evictions)
-        return {
+        info = {
             key: {
                 "hits": self._hits.get(key, 0),
                 "misses": self._misses.get(key, 0),
@@ -217,6 +235,8 @@ class Session:
             }
             for key in sorted(keys)
         }
+        info["worker_pools"] = pool_stats()
+        return info
 
     # ------------------------------------------------------------------
     # Config resolution
@@ -440,7 +460,7 @@ def _run_orientation(
         if method == "hpartition" else None,
         shard_plan=session.shard_plan()
         if method == "hpartition"
-        and session.substrate(config) == "sharded" else None,
+        and session.substrate(config) in ("sharded", "parallel") else None,
     )
     return OrientationResult(
         orientation, bound, rounds=counter, graph=session.graph
@@ -547,6 +567,18 @@ register_backend(BackendSpec(
     capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
     resolve=lambda graph: (
         "sharded" if graph.n >= SHARDED_AUTO_CUTOFF else "csr"
+    ),
+))
+register_backend(BackendSpec(
+    name="parallel",
+    description="the full wave-engine substrate: sharded peeling "
+    "waves plus engine-backed BFS paths (ball carving, color-class "
+    "scans, diameter reduction), bit-identical to csr for every "
+    f"worker count; auto-selects at n >= {SHARDED_AUTO_CUTOFF}, "
+    "csr below",
+    capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
+    resolve=lambda graph: (
+        "parallel" if graph.n >= SHARDED_AUTO_CUTOFF else "csr"
     ),
 ))
 

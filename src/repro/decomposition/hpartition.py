@@ -20,10 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-import os
-
 from ..errors import DecompositionError, PaletteError
-from ..graph.csr import CSRGraph
+from ..graph.csr import CSRGraph, force_sharded_peeling
 from ..graph.forests import RootedForest
 from ..graph.multigraph import MultiGraph
 from ..graph.shard import ShardPlan, ShardedPeelingView, plan_of
@@ -76,20 +74,26 @@ def h_partition(
     count.  A prebuilt ``snapshot`` of ``graph`` can be supplied to
     amortize conversion across several kernel-backed passes.
 
-    Setting ``REPRO_FORCE_SHARDED=1`` in the environment reroutes every
-    ``csr`` peel through the sharded view (worker count from
-    ``REPRO_SHARD_WORKERS``, default 2) — the CI leg that runs the full
-    fast suite on the sharded backend uses this.
+    Setting ``REPRO_FORCE_SHARDED=1`` (or the stronger
+    ``REPRO_FORCE_PARALLEL=1``, which also reroutes the BFS-shaped hot
+    paths through the wave engine) reroutes every ``csr`` peel through
+    the sharded view — the CI forced-backend leg runs the full fast
+    suite this way.  The worker count comes from
+    ``REPRO_SHARD_WORKERS`` via the engine's single cached read
+    (:func:`repro.parallel.engine.resolve_workers`), machine cores
+    capped otherwise.
     """
     counter = ensure_counter(rounds)
     cap = max_iterations if max_iterations is not None else 4 * graph.n + 8
     if backend == "dict":
         return _h_partition_dict(graph, threshold, counter, cap)
-    force = os.environ.get("REPRO_FORCE_SHARDED", "").strip().lower()
-    if backend == "csr" and force not in ("", "0", "false", "no", "off"):
+    if backend == "parallel":
+        # The parallel pipeline backend peels on the sharded view; the
+        # engine-backed BFS specialization lives in the traversal /
+        # carving layers.
         backend = "sharded"
-        if workers == 0:
-            workers = int(os.environ.get("REPRO_SHARD_WORKERS", "2"))
+    if backend == "csr" and force_sharded_peeling():
+        backend = "sharded"
     if backend not in ("csr", "sharded"):
         raise DecompositionError(f"unknown h_partition backend {backend!r}")
 
@@ -188,9 +192,10 @@ def acyclic_orientation(
                 orientation[eid] = u
             else:
                 orientation[eid] = v
-    elif backend in ("csr", "sharded"):
-        # sharding only specializes the peel; the per-edge comparison
-        # is one vectorized pass either way.
+    elif backend in ("csr", "sharded", "parallel"):
+        # the wave-engine backends only specialize the peel / BFS
+        # phases; the per-edge comparison is one vectorized pass
+        # either way.
         snap = snapshot if snapshot is not None else CSRGraph.from_multigraph(graph)
         if snap.num_edges == 0:
             orientation = {}

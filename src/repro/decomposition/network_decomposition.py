@@ -35,9 +35,14 @@ from ..errors import DecompositionError
 from ..graph.csr import CSRGraph, _concat_ranges, resolve_backend, snapshot_of
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
+from ..parallel.engine import WaveEngine, engine_for
 from ..rng import SeedLike, make_rng
 
 GraphLike = Union[MultiGraph, CSRGraph]
+
+#: backends that run on the flat-array kernel ("parallel" additionally
+#: routes ball-growth shells through the shared wave engine)
+_KERNEL = ("csr", "parallel")
 
 
 def _resolve_backend(graph: GraphLike, backend: str) -> str:
@@ -80,6 +85,7 @@ def network_decomposition(
     rounds: Optional[RoundCounter] = None,
     radius_cost: int = 1,
     backend: str = "auto",
+    workers: int = 0,
 ) -> NetworkDecomposition:
     """Deterministic (O(log n), O(log n)) network decomposition.
 
@@ -91,15 +97,23 @@ def network_decomposition(
     Accepts a :class:`MultiGraph` or a CSR snapshot (e.g. the output of
     ``power_graph(..., backend="csr")``); the csr backend grows balls
     with mask-vectorized frontier sweeps and produces exactly the
-    clusters of the dict reference path.
+    clusters of the dict reference path.  The parallel backend routes
+    each ball's shell expansion through the shared wave engine
+    (shard-fanned gathers + scatter-dedup reconcile; ``workers``
+    threads) — the carve order is inherently sequential (each ball's
+    shell masks later seeds), so clusters stay identical for every
+    worker count.
     """
     counter = ensure_counter(rounds)
     n = graph.n
     if n == 0:
         return NetworkDecomposition([])
 
-    if _resolve_backend(graph, backend) == "csr":
-        classes = _decompose_csr(snapshot_of(graph), n)
+    resolved = _resolve_backend(graph, backend)
+    if resolved in _KERNEL:
+        snap = snapshot_of(graph)
+        engine = engine_for(snap, workers) if resolved == "parallel" else None
+        classes = _decompose_csr(snap, n, engine)
     else:
         classes = _decompose_dict(graph, n)
 
@@ -130,7 +144,9 @@ def _decompose_dict(graph: GraphLike, n: int) -> List[List[List[int]]]:
     return classes
 
 
-def _decompose_csr(snapshot: CSRGraph, n: int) -> List[List[List[int]]]:
+def _decompose_csr(
+    snapshot: CSRGraph, n: int, engine: Optional[WaveEngine] = None
+) -> List[List[List[int]]]:
     """Ball carving over dense-index masks; cluster-for-cluster equal to
     :func:`_decompose_dict` (seeds by minimum vertex id, identical
     doubling rule).
@@ -138,7 +154,10 @@ def _decompose_csr(snapshot: CSRGraph, n: int) -> List[List[List[int]]]:
     Seeds come from a cursor over the id-sorted vertex order: within a
     class the minimum unvisited id only grows, so the scan is amortized
     O(n) per class.  Ball membership uses a stamp array (stamp[i] ==
-    current cluster token) so no per-cluster mask is allocated.
+    current cluster token) so no per-cluster mask is allocated.  An
+    optional engine fans each shell's half-edge gather out across
+    shard-aligned frontier groups (shell sets are dedup-order-free, so
+    clusters are identical for every worker count).
     """
     vertex_ids = snapshot.vertex_ids
     order_by_id = np.argsort(vertex_ids, kind="stable").tolist()
@@ -161,7 +180,7 @@ def _decompose_csr(snapshot: CSRGraph, n: int) -> List[List[List[int]]]:
                 break
             seed_index = order_by_id[cursor]
             ball, shell = _grow_doubling_ball_csr(
-                snapshot, seed_index, unvisited, stamp, token
+                snapshot, seed_index, unvisited, stamp, token, engine
             )
             token += 1
             clusters.append(np.sort(vertex_ids[ball]).tolist())
@@ -199,11 +218,15 @@ def _grow_doubling_ball_csr(
     allowed: np.ndarray,
     stamp: np.ndarray,
     token: int,
+    engine: Optional[WaveEngine] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Frontier-vectorized :func:`_grow_doubling_ball` over dense
     indices; returns (ball indices, next-shell indices).  ``stamp``
     marks ball membership with ``token`` (one shared array instead of a
-    fresh mask per cluster)."""
+    fresh mask per cluster).  With an engine, each shell's gather is
+    one wave: shard-phase kernels slice the frozen CSR arrays, the
+    reconcile dedups and filters — shell sets are order-free, so the
+    ball is identical under any worker count."""
     n = snapshot.num_vertices
     offsets = snapshot.vertex_offsets
     nbr = snapshot.neighbor_ids
@@ -212,8 +235,23 @@ def _grow_doubling_ball_csr(
     parts = [frontier]
     ball_size = 1
     while True:
-        half = _concat_ranges(offsets[frontier], offsets[frontier + 1])
-        candidates = nbr[half]
+        if engine is not None and engine.workers > 1 and frontier.size >= 64:
+            # Fan the shell gather out only when threads can overlap
+            # AND the frontier is big enough that even the work-list
+            # accounting (summing its half-edge counts) is noise —
+            # most balls are tiny and sequential, and paying that
+            # accounting per shell measurably slowed the carve.
+            cost = int((offsets[frontier + 1] - offsets[frontier]).sum())
+            candidates = engine.gather(
+                lambda part: nbr[
+                    _concat_ranges(offsets[part], offsets[part + 1])
+                ],
+                frontier,
+                cost,
+            )
+        else:
+            half = _concat_ranges(offsets[frontier], offsets[frontier + 1])
+            candidates = nbr[half]
         if candidates.size > n >> 2:
             # Dense frontier: a scatter mask dedups in O(n + |half|),
             # beating unique's O(|half| log |half|) sort.
@@ -307,7 +345,10 @@ def partial_network_decomposition(
     if n == 0:
         return {}
 
-    if _resolve_backend(graph, backend) == "csr":
+    # The MPX sweep is a scalar Dijkstra whose heap order is the whole
+    # determinism story — "parallel" resolves to the same csr arrays
+    # (there is no wave to fan out without reordering the heap).
+    if _resolve_backend(graph, backend) in _KERNEL:
         head_of = _mpx_sweep_csr(snapshot_of(graph), beta, rng)
     else:
         head_of = _mpx_sweep_dict(graph, beta, rng)
@@ -380,7 +421,7 @@ def cut_edges_of_clustering(
     graph: GraphLike, head_of: Dict[int, int], backend: str = "auto"
 ) -> List[int]:
     """Edge ids whose endpoints lie in different MPX clusters."""
-    if _resolve_backend(graph, backend) == "csr":
+    if _resolve_backend(graph, backend) in _KERNEL:
         snap = snapshot_of(graph)
         if snap.num_edges == 0:
             return []

@@ -61,6 +61,7 @@ bit-identical to the serial view regardless of worker count.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -109,33 +110,73 @@ AUTO_CSR_CUTOFF = 256
 # itself at scale (see repro.graph.shard).
 SHARDED_AUTO_CUTOFF = 50_000
 
+# Below this vertex count the parallel (engine-backed) BFS paths fall
+# back to the serial csr kernel for the same reason; small frontiers
+# and small color classes stay serial (see repro.parallel).
+PARALLEL_BFS_AUTO_CUTOFF = 50_000
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in (
+        "", "0", "false", "no", "off"
+    )
+
+
+def force_parallel_traversal() -> bool:
+    """True when ``REPRO_FORCE_PARALLEL=1``: every csr-resolved
+    traversal / BFS callsite reroutes through the engine-backed
+    parallel path (outputs are bit-identical; the CI forced-backend
+    leg runs the whole suite this way)."""
+    return _env_flag("REPRO_FORCE_PARALLEL")
+
+
+def force_sharded_peeling() -> bool:
+    """True when ``REPRO_FORCE_SHARDED=1`` *or* the stronger
+    ``REPRO_FORCE_PARALLEL=1``: every csr peel reroutes through the
+    sharded wave view."""
+    return _env_flag("REPRO_FORCE_SHARDED") or _env_flag("REPRO_FORCE_PARALLEL")
+
 
 def resolve_backend(graph, backend: str, error_cls=GraphError, peeling: bool = False) -> str:
     """Shared backend dispatch for the traversal / decomposition layers.
 
     ``auto`` routes :class:`CSRGraph` inputs (and large ``MultiGraph``
     inputs) to the kernel and keeps small dict graphs on the reference
-    path.  ``sharded`` only specializes threshold peeling: peeling
-    callsites (``peeling=True``) get ``"sharded"`` at
-    ``n >= SHARDED_AUTO_CUTOFF`` and ``"csr"`` below (the multi-worker
-    wave machinery only pays for itself at scale; results are identical
-    either way), while traversal / network-decomposition callsites
-    always get ``"csr"`` — their kernels are the same arrays under any
-    worker count, and they must never fall back to the dict reference
-    path just because the peel runs sharded.  Unknown names raise
-    ``error_cls`` so each layer keeps its own error taxonomy.
+    path.  The ``sharded`` / ``parallel`` names select the wave-engine
+    substrates, each auto-gated by size (the multi-worker wave
+    machinery only pays for itself at scale; results are identical
+    either way):
+
+    * peeling callsites (``peeling=True``) get ``"sharded"`` at
+      ``n >= SHARDED_AUTO_CUTOFF`` and ``"csr"`` below;
+    * traversal / network-decomposition / color-class callsites get
+      ``"parallel"`` (engine-backed BFS waves) at
+      ``n >= PARALLEL_BFS_AUTO_CUTOFF`` and ``"csr"`` below — never
+      the dict reference path.
+
+    ``REPRO_FORCE_PARALLEL=1`` reroutes every csr-resolved
+    non-peeling callsite through ``"parallel"`` regardless of size
+    (the forced-backend CI leg).  Unknown names raise ``error_cls``
+    so each layer keeps its own error taxonomy.
     """
+    if backend in ("sharded", "parallel"):
+        if peeling:
+            return "sharded" if graph.n >= SHARDED_AUTO_CUTOFF else "csr"
+        if graph.n >= PARALLEL_BFS_AUTO_CUTOFF or force_parallel_traversal():
+            return "parallel"
+        return "csr"
     if backend == "auto":
         if isinstance(graph, CSRGraph):
-            return "csr"
-        return "csr" if graph.n >= AUTO_CSR_CUTOFF else "dict"
-    if backend == "sharded":
-        if peeling and graph.n >= SHARDED_AUTO_CUTOFF:
-            return "sharded"
-        return "csr"
-    if backend not in ("dict", "csr"):
+            resolved = "csr"
+        else:
+            resolved = "csr" if graph.n >= AUTO_CSR_CUTOFF else "dict"
+    elif backend not in ("dict", "csr"):
         raise error_cls(f"unknown backend {backend!r}")
-    return backend
+    else:
+        resolved = backend
+    if resolved == "csr" and not peeling and force_parallel_traversal():
+        return "parallel"
+    return resolved
 
 
 def apply_degree_decrements(
@@ -942,6 +983,7 @@ def rooted_forest_arrays(
     snapshot: CSRGraph,
     eids: Sequence[int],
     preferred_roots: Optional[Iterable[int]] = None,
+    engine=None,
 ) -> ForestArrays:
     """Root the forest formed by ``eids``, entirely on flat arrays.
 
@@ -952,7 +994,11 @@ def rooted_forest_arrays(
 
     A union-find pass validates acyclicity and groups components; one
     multi-source frontier-vectorized BFS then assigns depths and parent
-    edges (unique in a forest, so no tie-breaking is needed).
+    edges (unique in a forest, so no tie-breaking is needed).  An
+    optional :class:`~repro.parallel.engine.WaveEngine` fans each BFS
+    level's gather out across shard-aligned frontier groups —
+    bit-identical depths for every worker count (duck-typed so this
+    module stays independent of :mod:`repro.parallel`).
     """
     n = snapshot.num_vertices
     depth = np.full(n, -1, dtype=np.int64)
@@ -1001,17 +1047,29 @@ def rooted_forest_arrays(
     # Sub-CSR over the forest edges, then one multi-source BFS.
     sub_offsets, sub_nbr, sub_edge = _half_edge_csr(n, sub_u, sub_v, sub_eid)
 
+    def expand(part: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # Shard-phase kernel: reads the frozen depth array, returns the
+        # fresh (target, parent edge) pairs of its frontier slice.
+        half = _concat_ranges(sub_offsets[part], sub_offsets[part + 1])
+        targets = sub_nbr[half]
+        via = sub_edge[half]
+        fresh = depth[targets] < 0
+        return targets[fresh], via[fresh]
+
     frontier = np.asarray(sorted(roots), dtype=np.int64)
     depth[frontier] = 0
     level = 0
     while frontier.size:
         level += 1
-        half = _concat_ranges(sub_offsets[frontier], sub_offsets[frontier + 1])
-        targets = sub_nbr[half]
-        via = sub_edge[half]
-        fresh = depth[targets] < 0
-        targets = targets[fresh]
-        via = via[fresh]
+        if engine is None:
+            targets, via = expand(frontier)
+        else:
+            # Shard-aligned groups need an ascending work-list; depth /
+            # parent assignments are per unique target (forests reach
+            # each vertex once per level), so sorting is output-free.
+            work = np.sort(frontier)
+            cost = int((sub_offsets[work + 1] - sub_offsets[work]).sum())
+            targets, via = engine.gather(expand, work, cost)
         depth[targets] = level
         parent_eid[targets] = via
         frontier = targets

@@ -3,30 +3,26 @@
 The H-partition (Algorithm 1 / Theorem 2.1) is wave-parallel by
 construction: every vertex whose remaining degree is at or below the
 threshold peels *simultaneously*.  The serial kernel executes each wave
-as one vectorized pass on a single core; this module splits the wave
-across **shards** — contiguous slices of the CSR offset array — so
-multiple workers can process one wave concurrently, and layers the
-frontier bookkeeping that makes waves cheap even on one core.
+as one vectorized pass on a single core;
+:class:`ShardedPeelingView` runs each wave through the shared
+:class:`~repro.parallel.engine.WaveEngine` — the runtime this module
+*used* to own before PR 5 lifted it into :mod:`repro.parallel` so the
+BFS-shaped hot paths (ball carving, color-class scans, diameter
+sweeps) could share it.
 
-Wave / reconcile contract
--------------------------
+What remains here is the peeling-specific wave:
 
-Each wave has two phases, mirroring the cluster-local round structure
-of the paper's algorithms:
-
-1. **Shard phase** — workers peel their shards against *frozen*
-   ``alive`` / ``remaining`` arrays: they read the pre-wave state,
-   compute their shard's removals and gather the half-edges those
-   removals cut, but never write shared degree state.  Work is split
-   along :class:`ShardPlan` boundaries, so the concatenated per-shard
-   results are in ascending dense-index order no matter which worker
-   finished first.
-2. **Reconcile phase** — one batched
-   :func:`~repro.graph.csr.apply_degree_decrements` update (the
-   ``np.bincount``-based helper shared with the serial wave) applies
-   every boundary decrement at once, and the vertices whose remaining
-   degree crossed the threshold become the next wave's per-shard
-   work-list.
+* **shard phase** — the engine fans the wave's work-list out along
+  :class:`~repro.parallel.plan.ShardPlan` boundaries; per-shard
+  kernels peel/gather against *frozen* ``alive`` / ``remaining``
+  arrays (they read pre-wave state, never write shared degree state),
+  and results concatenate in ascending dense-index order no matter
+  which worker finished first.
+* **reconcile phase** — one batched
+  :func:`~repro.graph.csr.apply_degree_decrements` update (the
+  ``np.bincount``-based helper shared with the serial wave) applies
+  every decrement at once, and the vertices whose remaining degree
+  crossed the threshold become the next wave's work-list.
 
 Because workers only read frozen state and the reconcile is a single
 deterministic batched update, the output is **bit-identical to the
@@ -41,31 +37,20 @@ instead of rescanning all ``n`` vertices.  On wave-cascade workloads
 (grid peels, long dependency chains) that turns ``O(waves * n)``
 scanning into ``O(n + total frontier)``.
 
-Threads, not processes
-----------------------
-
-Workers are **threads** (a shared :class:`ThreadPoolExecutor`), not
-processes.  The shard phase is numpy slice/gather kernels, which
-release the GIL, so threads overlap on multi-core machines while
-sharing the snapshot arrays zero-copy — no pickling, no shared-memory
-segment lifecycle, no fork-safety constraints on user code.  A process
-pool would buy nothing here: the reconcile step is one batched numpy
-call either way, and the per-wave arrays workers exchange are exactly
-the pickling cost a process pool would add.  Fan-out is skipped for
-waves below :data:`FAN_OUT_MIN_HALF_EDGES` (dispatch latency would
-exceed the work); the decision depends only on wave content, never on
-timing, so it cannot perturb results.
+Workers are threads, pools are process-shared, and the fan-out gates
+read only wave content — see :mod:`repro.parallel.engine` for the full
+justification and the pool lifecycle (a single ``REPRO_SHARD_WORKERS``
+read, explicit ``shutdown()``, atexit teardown).
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
-from ..errors import GraphError
+from ..parallel.engine import engine_for, resolve_workers
+from ..parallel.plan import ShardPlan, plan_of
 from .csr import (
     CSRGraph,
     PeelingView,
@@ -82,162 +67,10 @@ __all__ = [
     "resolve_workers",
 ]
 
-#: target vertices per shard when the plan does not say otherwise
-SHARD_TARGET_VERTICES = 8192
-#: target half-edges per shard (denser graphs get more shards)
-SHARD_TARGET_HALF_EDGES = 65536
-#: never split a graph into more shards than this
-MAX_SHARDS = 64
-
-#: waves whose removals cut fewer half-edges than this run inline:
-#: thread dispatch costs ~50us, the work would take less.  The gate
-#: reads only the wave's content (a deterministic function of the
-#: graph and threshold), so fan-out can never change results.
-FAN_OUT_MIN_HALF_EDGES = 32768
-
-#: full shard scans over fewer vertices than this run inline for the
-#: same reason (scan work is proportional to the vertex count).
-FAN_OUT_MIN_SCAN_VERTICES = 32768
-
-#: default worker count (workers=0): the machine's cores, capped —
-#: peeling waves stop scaling long before large core counts.
-MAX_AUTO_WORKERS = 4
-
-
-def resolve_workers(workers: int = 0) -> int:
-    """Concrete worker count for a ``workers`` knob (0 = auto)."""
-    if workers < 0:
-        raise GraphError(f"workers must be >= 0, got {workers}")
-    if workers == 0:
-        return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
-    return workers
-
-
-def default_num_shards(num_vertices: int, num_half_edges: int) -> int:
-    """Shard count for a snapshot: scale with both vertex count and
-    density, bounded by :data:`MAX_SHARDS` (and by ``n`` — a shard is
-    never empty by construction unless the graph is smaller than the
-    shard count)."""
-    if num_vertices <= 1:
-        return 1
-    by_vertices = -(-num_vertices // SHARD_TARGET_VERTICES)
-    by_half_edges = -(-num_half_edges // SHARD_TARGET_HALF_EDGES)
-    return max(1, min(MAX_SHARDS, num_vertices, max(by_vertices, by_half_edges)))
-
-
-class ShardPlan:
-    """A partition of a snapshot's dense vertex range into contiguous
-    slices of the CSR offset array, balanced by half-edge count.
-
-    ``boundaries`` has length ``num_shards + 1`` with
-    ``boundaries[0] == 0`` and ``boundaries[-1] == n``; shard ``s``
-    owns vertex indices ``boundaries[s]:boundaries[s+1]``.  The plan
-    depends only on the snapshot (never on the worker count), which is
-    one half of the determinism story: the same graph always shards
-    the same way, workers merely consume the shards.
-    """
-
-    __slots__ = ("boundaries", "num_shards")
-
-    def __init__(self, boundaries: np.ndarray) -> None:
-        boundaries = np.asarray(boundaries, dtype=np.int64)
-        if boundaries.ndim != 1 or boundaries.size < 2:
-            raise GraphError("shard plan needs at least one shard")
-        if boundaries[0] != 0 or np.any(np.diff(boundaries) < 0):
-            raise GraphError("shard boundaries must be nondecreasing from 0")
-        self.boundaries = boundaries
-        self.num_shards = int(boundaries.size - 1)
-
-    @classmethod
-    def from_snapshot(
-        cls, snapshot: CSRGraph, num_shards: Optional[int] = None
-    ) -> "ShardPlan":
-        """Balance shards so each owns roughly equal half-edges.
-
-        Vertex ``i``'s half-edges end at ``vertex_offsets[i+1]``;
-        placing boundaries at evenly spaced half-edge targets via
-        ``searchsorted`` keeps dense regions from piling onto one
-        worker while every shard stays a contiguous index slice.
-        """
-        n = snapshot.num_vertices
-        if num_shards is None:
-            num_shards = default_num_shards(n, int(snapshot.neighbor_ids.size))
-        if num_shards < 1:
-            raise GraphError(f"num_shards must be >= 1, got {num_shards}")
-        num_shards = min(num_shards, max(1, n))
-        if n == 0:
-            return cls(np.zeros(num_shards + 1, dtype=np.int64))
-        offsets = snapshot.vertex_offsets
-        total = int(offsets[-1])
-        targets = (np.arange(1, num_shards, dtype=np.int64) * total) // num_shards
-        inner = np.searchsorted(offsets[1:], targets, side="left") + 1
-        boundaries = np.concatenate(([0], inner, [n]))
-        # Degenerate distributions (one hub vertex holding most edges)
-        # can collapse several targets onto one index; keep boundaries
-        # monotone — empty shards are allowed and simply skipped.
-        np.maximum.accumulate(boundaries, out=boundaries)
-        np.minimum(boundaries, n, out=boundaries)
-        return cls(boundaries)
-
-    def shard_of(self, index: int) -> int:
-        """The shard owning dense vertex index ``index``."""
-        return int(
-            np.searchsorted(self.boundaries, index, side="right") - 1
-        )
-
-    def split(self, indices: np.ndarray) -> List[np.ndarray]:
-        """Split an ascending index array into per-shard slices (views)."""
-        cuts = np.searchsorted(indices, self.boundaries[1:-1], side="left")
-        return np.split(indices, cuts)
-
-    def __repr__(self) -> str:
-        return (
-            f"ShardPlan(num_shards={self.num_shards}, "
-            f"n={int(self.boundaries[-1])})"
-        )
-
-
-def plan_of(snapshot: CSRGraph, num_shards: Optional[int] = None) -> ShardPlan:
-    """The snapshot's cached default :class:`ShardPlan`.
-
-    Snapshots are immutable, so the default plan is computed once and
-    cached on the instance (mirroring ``snapshot_of``'s caching on the
-    source graph); explicit ``num_shards`` bypasses the cache.
-    """
-    if num_shards is not None:
-        return ShardPlan.from_snapshot(snapshot, num_shards)
-    cached = snapshot._shard_plan_cache
-    if cached is None:
-        cached = ShardPlan.from_snapshot(snapshot)
-        snapshot._shard_plan_cache = cached
-    return cached
-
-
-# ----------------------------------------------------------------------
-# Worker pool (threads; see module docstring for the justification)
-# ----------------------------------------------------------------------
-
-_POOLS: Dict[int, ThreadPoolExecutor] = {}
-
-
-def _pool_for(workers: int) -> ThreadPoolExecutor:
-    """A shared thread pool per worker count.
-
-    Pools are reused across waves and views — spawning threads per
-    h-partition call would cost more than small waves themselves.
-    Idle pools hold no GIL and nearly no memory.
-    """
-    pool = _POOLS.get(workers)
-    if pool is None:
-        pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-shard"
-        )
-        _POOLS[workers] = pool
-    return pool
-
 
 class ShardedPeelingView(PeelingView):
-    """A :class:`PeelingView` whose ``peel_leq`` waves run shard-wise.
+    """A :class:`PeelingView` whose ``peel_leq`` waves run on the
+    shared :class:`~repro.parallel.engine.WaveEngine`.
 
     State layout is identical to the serial view (the ``alive`` /
     ``remaining`` arrays *are* the superclass's), plus the wave
@@ -257,7 +90,7 @@ class ShardedPeelingView(PeelingView):
     stays correct under arbitrary interleaving, like the serial one.
     """
 
-    __slots__ = ("plan", "workers", "_cand", "_cand_threshold")
+    __slots__ = ("engine", "_cand", "_cand_threshold")
 
     def __init__(
         self,
@@ -266,15 +99,19 @@ class ShardedPeelingView(PeelingView):
         workers: int = 0,
     ) -> None:
         super().__init__(snapshot)
-        self.plan = plan if plan is not None else plan_of(snapshot)
-        if int(self.plan.boundaries[-1]) != snapshot.num_vertices:
-            raise GraphError(
-                f"shard plan covers {int(self.plan.boundaries[-1])} "
-                f"vertices, snapshot has {snapshot.num_vertices}"
-            )
-        self.workers = resolve_workers(workers)
+        # engine_for validates the plan against the snapshot (torn
+        # plans — built from a different snapshot — are rejected).
+        self.engine = engine_for(snapshot, workers, plan)
         self._cand: Optional[np.ndarray] = None
         self._cand_threshold: Optional[int] = None
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self.engine.plan
+
+    @property
+    def workers(self) -> int:
+        return self.engine.workers
 
     # -- wave phase 1: per-shard work ----------------------------------
 
@@ -284,10 +121,8 @@ class ShardedPeelingView(PeelingView):
         reconcile has prepared a work-list yet."""
         alive = self._alive_arr
         remaining = self._remaining_arr
-        bounds = self.plan.boundaries
 
-        def scan(shard: int) -> np.ndarray:
-            lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+        def scan(lo: int, hi: int) -> np.ndarray:
             local = np.flatnonzero(
                 alive[lo:hi] & (remaining[lo:hi] <= threshold)
             )
@@ -295,33 +130,7 @@ class ShardedPeelingView(PeelingView):
                 local += lo
             return local
 
-        shards = range(self.plan.num_shards)
-        n = self.snapshot.num_vertices
-        if self.workers > 1 and n >= FAN_OUT_MIN_SCAN_VERTICES:
-            parts = list(_pool_for(self.workers).map(scan, shards))
-        else:
-            parts = [scan(s) for s in shards]
-        parts = [p for p in parts if p.size]
-        if not parts:
-            return np.empty(0, dtype=np.int64)
-        return parts[0] if len(parts) == 1 else np.concatenate(parts)
-
-    def _shard_aligned_groups(self, removed: np.ndarray) -> List[np.ndarray]:
-        """Split the wave's work-list into up to ``workers`` groups of
-        whole shards (balanced by removal count, boundaries snapped to
-        the plan's shard edges).  A shard with no threshold crossings
-        contributes nothing, so inactive regions cost no work."""
-        edges = np.concatenate((
-            [0],
-            np.searchsorted(removed, self.plan.boundaries[1:-1], side="left"),
-            [removed.size],
-        ))
-        targets = (
-            np.arange(1, self.workers, dtype=np.int64) * removed.size
-        ) // self.workers
-        picks = edges[np.searchsorted(edges, targets, side="left")]
-        cuts = np.unique(np.concatenate(([0], picks, [removed.size])))
-        return [removed[a:b] for a, b in zip(cuts[:-1], cuts[1:])]
+        return self.engine.scan_shards(scan)
 
     def _gather_cut_neighbors(self, removed: np.ndarray) -> np.ndarray:
         """Live neighbors (with multiplicity) across the removed
@@ -329,10 +138,9 @@ class ShardedPeelingView(PeelingView):
 
         ``alive`` is frozen during the gather (removals were flagged
         before the call), so workers read identical state no matter
-        the interleaving.  Work splits along :class:`ShardPlan`
-        boundaries (each worker group owns a run of whole shards) and
-        group results concatenate in plan order, reproducing the
-        serial gather exactly.
+        the interleaving; the engine splits the work along shard
+        boundaries and concatenates group results in plan order,
+        reproducing the serial gather exactly.
         """
         offsets = self.snapshot.vertex_offsets
         neighbor_ids = self.snapshot.neighbor_ids
@@ -346,26 +154,12 @@ class ShardedPeelingView(PeelingView):
         total_half = int(
             (offsets[removed + 1] - offsets[removed]).sum()
         ) if removed.size else 0
-        if (
-            self.workers > 1
-            and total_half >= FAN_OUT_MIN_HALF_EDGES
-            and removed.size >= self.workers
-        ):
-            groups = self._shard_aligned_groups(removed)
-            if len(groups) > 1:
-                parts = list(_pool_for(self.workers).map(gather, groups))
-                parts = [p for p in parts if p.size]
-                if not parts:
-                    return np.empty(0, dtype=np.int64)
-                return (
-                    parts[0] if len(parts) == 1 else np.concatenate(parts)
-                )
-        return gather(removed)
+        return self.engine.gather(gather, removed, total_half)
 
     # -- the wave ------------------------------------------------------
 
     def peel_leq(self, threshold: int) -> np.ndarray:
-        """One sharded wave; see :meth:`PeelingView.peel_leq`.
+        """One engine wave; see :meth:`PeelingView.peel_leq`.
 
         Returns the removed dense indices (ascending), bit-identical
         to the serial view's wave for any plan and worker count.

@@ -1,0 +1,156 @@
+"""Shard plans: contiguous, half-edge-balanced slices of a CSR offset
+array.
+
+A :class:`ShardPlan` is the unit of work distribution for every wave
+the :class:`~repro.parallel.engine.WaveEngine` runs — peeling waves,
+BFS frontier expansions, ball-carving shells.  Two properties carry
+the determinism contract:
+
+* a plan is a **pure function of the snapshot** (never of the worker
+  count), so the same graph always shards the same way and workers
+  merely consume the shards;
+* every shard is a **contiguous dense-index slice**, so per-shard
+  results concatenate in ascending index order no matter which worker
+  finished first.
+
+The plan machinery lived inside :mod:`repro.graph.shard` while peeling
+was its only client; it moved here when the BFS-shaped hot paths
+started sharing it (see :mod:`repro.parallel.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = [
+    "ShardPlan",
+    "plan_of",
+    "default_num_shards",
+    "SHARD_TARGET_VERTICES",
+    "SHARD_TARGET_HALF_EDGES",
+    "MAX_SHARDS",
+]
+
+#: target vertices per shard when the plan does not say otherwise
+SHARD_TARGET_VERTICES = 8192
+#: target half-edges per shard (denser graphs get more shards)
+SHARD_TARGET_HALF_EDGES = 65536
+#: never split a graph into more shards than this
+MAX_SHARDS = 64
+
+
+def default_num_shards(num_vertices: int, num_half_edges: int) -> int:
+    """Shard count for a snapshot: scale with both vertex count and
+    density, bounded by :data:`MAX_SHARDS` (and by ``n`` — a shard is
+    never empty by construction unless the graph is smaller than the
+    shard count)."""
+    if num_vertices <= 1:
+        return 1
+    by_vertices = -(-num_vertices // SHARD_TARGET_VERTICES)
+    by_half_edges = -(-num_half_edges // SHARD_TARGET_HALF_EDGES)
+    return max(1, min(MAX_SHARDS, num_vertices, max(by_vertices, by_half_edges)))
+
+
+class ShardPlan:
+    """A partition of a dense vertex range into contiguous slices of a
+    CSR offset array, balanced by half-edge count.
+
+    ``boundaries`` has length ``num_shards + 1`` with
+    ``boundaries[0] == 0`` and ``boundaries[-1] == n``; shard ``s``
+    owns vertex indices ``boundaries[s]:boundaries[s+1]``.  The plan
+    depends only on the snapshot (never on the worker count), which is
+    one half of the determinism story: the same graph always shards
+    the same way, workers merely consume the shards.
+    """
+
+    __slots__ = ("boundaries", "num_shards")
+
+    def __init__(self, boundaries: np.ndarray) -> None:
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise GraphError("shard plan needs at least one shard")
+        if boundaries[0] != 0 or np.any(np.diff(boundaries) < 0):
+            raise GraphError("shard boundaries must be nondecreasing from 0")
+        self.boundaries = boundaries
+        self.num_shards = int(boundaries.size - 1)
+
+    @property
+    def num_items(self) -> int:
+        """The dense index range the plan covers (``boundaries[-1]``)."""
+        return int(self.boundaries[-1])
+
+    @classmethod
+    def from_offsets(
+        cls, offsets: np.ndarray, num_shards: Optional[int] = None
+    ) -> "ShardPlan":
+        """Balance shards over any CSR offset array so each owns
+        roughly equal half-edges.
+
+        Vertex ``i``'s half-edges end at ``offsets[i+1]``; placing
+        boundaries at evenly spaced half-edge targets via
+        ``searchsorted`` keeps dense regions from piling onto one
+        worker while every shard stays a contiguous index slice.
+        """
+        n = int(offsets.shape[0]) - 1
+        if num_shards is None:
+            num_shards = default_num_shards(n, int(offsets[-1]))
+        if num_shards < 1:
+            raise GraphError(f"num_shards must be >= 1, got {num_shards}")
+        num_shards = min(num_shards, max(1, n))
+        if n == 0:
+            return cls(np.zeros(num_shards + 1, dtype=np.int64))
+        total = int(offsets[-1])
+        targets = (np.arange(1, num_shards, dtype=np.int64) * total) // num_shards
+        inner = np.searchsorted(offsets[1:], targets, side="left") + 1
+        boundaries = np.concatenate(([0], inner, [n]))
+        # Degenerate distributions (one hub vertex holding most edges)
+        # can collapse several targets onto one index; keep boundaries
+        # monotone — empty shards are allowed and simply skipped.
+        np.maximum.accumulate(boundaries, out=boundaries)
+        np.minimum(boundaries, n, out=boundaries)
+        return cls(boundaries)
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot, num_shards: Optional[int] = None
+    ) -> "ShardPlan":
+        """Balance shards over a :class:`~repro.graph.csr.CSRGraph`
+        snapshot's offset array (see :meth:`from_offsets`)."""
+        return cls.from_offsets(snapshot.vertex_offsets, num_shards)
+
+    def shard_of(self, index: int) -> int:
+        """The shard owning dense vertex index ``index``."""
+        return int(
+            np.searchsorted(self.boundaries, index, side="right") - 1
+        )
+
+    def split(self, indices: np.ndarray) -> List[np.ndarray]:
+        """Split an ascending index array into per-shard slices (views)."""
+        cuts = np.searchsorted(indices, self.boundaries[1:-1], side="left")
+        return np.split(indices, cuts)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan(num_shards={self.num_shards}, "
+            f"n={int(self.boundaries[-1])})"
+        )
+
+
+def plan_of(snapshot, num_shards: Optional[int] = None) -> ShardPlan:
+    """The snapshot's cached default :class:`ShardPlan`.
+
+    Snapshots are immutable, so the default plan is computed once and
+    cached on the instance (mirroring ``snapshot_of``'s caching on the
+    source graph); explicit ``num_shards`` bypasses the cache.
+    """
+    if num_shards is not None:
+        return ShardPlan.from_snapshot(snapshot, num_shards)
+    cached = snapshot._shard_plan_cache
+    if cached is None:
+        cached = ShardPlan.from_snapshot(snapshot)
+        snapshot._shard_plan_cache = cached
+    return cached

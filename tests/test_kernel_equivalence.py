@@ -501,9 +501,13 @@ def test_sharded_plan_mismatch_rejected():
         ShardedPeelingView(large, plan_of(small))
 
 
-def test_resolve_backend_sharded_size_fallback():
+def test_resolve_backend_sharded_size_fallback(monkeypatch):
     from repro.graph.csr import SHARDED_AUTO_CUTOFF
 
+    # Pin the forced-backend env off: the CI leg that sets
+    # REPRO_FORCE_PARALLEL reroutes csr-resolved traversal callsites,
+    # which is exactly what this test pins down for the default env.
+    monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
     small = MultiGraph.with_vertices(10)
     assert resolve_backend(small, "sharded", peeling=True) == "csr"
 
@@ -511,11 +515,15 @@ def test_resolve_backend_sharded_size_fallback():
         n = SHARDED_AUTO_CUTOFF
 
     assert resolve_backend(_FakeBig(), "sharded", peeling=True) == "sharded"
-    # Non-peeling layers (traversal, network decomposition) must get
-    # the csr kernel, never "sharded" (their dispatch would silently
-    # fall back to the dict reference path) and never "dict".
-    assert resolve_backend(_FakeBig(), "sharded") == "csr"
+    assert resolve_backend(_FakeBig(), "parallel", peeling=True) == "sharded"
+    # Non-peeling layers (traversal, network decomposition, color
+    # classes) route to the engine-backed parallel path at scale and
+    # to the csr kernel below — never the dict reference path, never
+    # the peeling-only "sharded" substrate.
+    assert resolve_backend(_FakeBig(), "sharded") == "parallel"
+    assert resolve_backend(_FakeBig(), "parallel") == "parallel"
     assert resolve_backend(small, "sharded") == "csr"
+    assert resolve_backend(small, "parallel") == "csr"
 
 
 def test_traversal_accepts_sharded_backend_on_kernel_path():
@@ -570,3 +578,107 @@ def test_peeling_view_interleaves_disciplines():
     rest = view.peel_leq(5)
     assert view.alive_count == 0
     assert sorted(int(snap.vertex_ids[i]) for i in rest) == [2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# Parallel (wave-engine) backend equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 10))
+def test_parallel_traversal_matches_reference(seed, monkeypatch):
+    """dict == csr == parallel for the BFS-shaped entry points, with
+    the engine forced on so even corpus-sized graphs run real waves."""
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+    graph = random_multigraph(seed)
+    vertices = graph.vertices()
+    sources = vertices[: max(1, len(vertices) // 4)]
+
+    assert bfs_distances(graph, sources, backend="parallel") == \
+        bfs_distances(graph, sources, backend="dict")
+    assert neighborhood(graph, sources[:1], 2, backend="parallel") == \
+        neighborhood(graph, sources[:1], 2, backend="dict")
+    assert connected_components(graph, backend="parallel") == \
+        connected_components(graph, backend="dict")
+
+    nd_ref = network_decomposition(graph, backend="dict")
+    nd_par = network_decomposition(graph, backend="parallel", workers=2)
+    assert nd_par.classes == nd_ref.classes
+
+    for comp in connected_components(graph, backend="dict")[:2]:
+        assert diameter_of_component(graph, comp, backend="parallel") == \
+            diameter_of_component(graph, comp, backend="dict")
+
+
+@pytest.mark.parametrize("seed", range(3, 200, 16))
+def test_depth_cut_backends_identical(seed, monkeypatch):
+    """depth_cut's arrays path (and the engine-backed rooting) cuts
+    exactly the dict RootedForest path's edges, same RNG stream."""
+    from repro.core.diameter_reduction import depth_cut
+    import repro.core.diameter_reduction as dr
+
+    graph = random_multigraph(seed)
+    if graph.m == 0:
+        pytest.skip("edgeless corpus instance")
+    # A proper forest coloring: split edges into forests greedily.
+    from repro.graph.union_find import UnionFind
+
+    coloring = {}
+    finders = []
+    for eid in sorted(graph.edge_ids()):
+        u, v = graph.endpoints(eid)
+        for color, uf in enumerate(finders):
+            if uf.union(u, v):
+                coloring[eid] = color
+                break
+        else:
+            uf = UnionFind()
+            uf.union(u, v)
+            finders.append(uf)
+            coloring[eid] = len(finders) - 1
+
+    reference = depth_cut(graph, coloring, z=3, seed=seed, backend="dict")
+    # Drop the gate so every class exercises the arrays path.
+    monkeypatch.setattr(dr, "DEPTH_CUT_ARRAYS_MIN_EDGES", 0)
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+    for backend in ("csr", "parallel"):
+        got = depth_cut(
+            graph, coloring, z=3, seed=seed, backend=backend, workers=2
+        )
+        assert got.kept == reference.kept
+        assert got.deleted == reference.deleted
+        assert got.deletion_tail == reference.deletion_tail
+
+
+@pytest.mark.parametrize("seed", range(5, 120, 18))
+def test_color_class_parallel_backend_matches_dict(seed):
+    """PartialListForestDecomposition path/component queries agree
+    between the dict walk and the engine-backed parallel sweeps under
+    an identical mutation history."""
+    graph = random_multigraph(seed)
+    if graph.m == 0:
+        pytest.skip("edgeless corpus instance")
+    palettes = {eid: (0, 1, 2) for eid in graph.edge_ids()}
+    rng = random.Random(seed)
+    states = {
+        "dict": PartialListForestDecomposition(graph, palettes, "dict"),
+        "parallel": PartialListForestDecomposition(
+            graph, palettes, "parallel", workers=2
+        ),
+    }
+    for eid in sorted(graph.edge_ids()):
+        color = rng.choice((0, 1, 2))
+        outcomes = {}
+        for name, state in states.items():
+            try:
+                state.set_color(eid, color)
+                outcomes[name] = "ok"
+            except ValidationError:
+                outcomes[name] = "cycle"
+        assert outcomes["dict"] == outcomes["parallel"]
+        probe = rng.choice(sorted(graph.edge_ids()))
+        assert states["dict"].color_path(probe, color) == \
+            states["parallel"].color_path(probe, color)
+        start = rng.choice(graph.vertices())
+        assert states["dict"].color_component_vertices(start, color) == \
+            states["parallel"].color_component_vertices(start, color)

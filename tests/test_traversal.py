@@ -183,3 +183,97 @@ def test_spanning_tree_edges():
     from repro.graph import is_forest
 
     assert is_forest(g, tree)
+
+
+# ----------------------------------------------------------------------
+# bfs_distance_array regression: multi-seed / disconnected / empty /
+# single-vertex, identical across dict, csr and parallel backends
+# ----------------------------------------------------------------------
+
+
+def _three_component_graph():
+    """Two nontrivial components plus an isolated single vertex."""
+    g = MultiGraph.with_vertices(9)
+    for u, v in [(0, 1), (1, 2), (2, 3)]:   # path component
+        g.add_edge(u, v)
+    for u, v in [(4, 5), (5, 6), (6, 4)]:   # triangle component
+        g.add_edge(u, v)
+    # vertices 7, 8 stay isolated
+    return g
+
+
+def test_bfs_distance_array_multi_seed_disconnected():
+    from repro.graph.csr import bfs_distance_array, snapshot_of
+    from repro.parallel import parallel_bfs_distance_array, engine_for
+
+    g = _three_component_graph()
+    snap = snapshot_of(g)
+    offsets, nbr, n = snap.vertex_offsets, snap.neighbor_ids, snap.num_vertices
+    dist = bfs_distance_array(offsets, nbr, n, [0, 4])
+    # Seeds reach only their own components; everything else stays -1.
+    assert dist.tolist() == [0, 1, 2, 3, 0, 1, 1, -1, -1]
+    for workers in (1, 2, 4):
+        engine = engine_for(snap, workers)
+        engine.min_gather_work = 0  # open the gate on this toy graph
+        assert parallel_bfs_distance_array(
+            offsets, nbr, n, [0, 4], engine=engine
+        ).tolist() == dist.tolist()
+    # The dict-facing entry point agrees across all three backends.
+    for backend in ("dict", "csr", "parallel"):
+        assert bfs_distances(g, [0, 4], backend=backend) == {
+            0: 0, 1: 1, 2: 2, 3: 3, 4: 0, 5: 1, 6: 1
+        }
+
+
+def test_bfs_distance_array_empty_seed_set():
+    from repro.graph.csr import bfs_distance_array, snapshot_of
+    from repro.parallel import parallel_bfs_distance_array
+
+    g = _three_component_graph()
+    snap = snapshot_of(g)
+    args = (snap.vertex_offsets, snap.neighbor_ids, snap.num_vertices, [])
+    assert bfs_distance_array(*args).tolist() == [-1] * g.n
+    assert parallel_bfs_distance_array(*args).tolist() == [-1] * g.n
+    for backend in ("dict", "csr", "parallel"):
+        assert bfs_distances(g, [], backend=backend) == {}
+
+
+def test_bfs_distance_array_single_vertex_component():
+    from repro.graph.csr import bfs_distance_array, snapshot_of
+    from repro.parallel import parallel_bfs_distance_array, engine_for
+
+    g = _three_component_graph()
+    snap = snapshot_of(g)
+    offsets, nbr, n = snap.vertex_offsets, snap.neighbor_ids, snap.num_vertices
+    dist = bfs_distance_array(offsets, nbr, n, [7])
+    expected = [-1] * n
+    expected[7] = 0
+    assert dist.tolist() == expected
+    assert parallel_bfs_distance_array(
+        offsets, nbr, n, [7], engine=engine_for(snap, 2)
+    ).tolist() == expected
+    for backend in ("dict", "csr", "parallel"):
+        assert bfs_distances(g, [7], backend=backend) == {7: 0}
+        assert diameter_of_component(g, [7], backend=backend) == 0
+        assert weak_diameter(g, [7], backend=backend) == 0
+
+
+def test_bfs_backends_agree_on_radius_capped_multi_seed():
+    g = _three_component_graph()
+    for radius in (0, 1, 2):
+        reference = bfs_distances(g, [0, 4, 8], radius=radius, backend="dict")
+        for backend in ("csr", "parallel"):
+            assert bfs_distances(
+                g, [0, 4, 8], radius=radius, backend=backend
+            ) == reference
+
+
+def test_weak_diameter_backends_agree():
+    g = cycle_graph(8)
+    for backend in ("dict", "csr", "parallel"):
+        assert weak_diameter(g, [0, 4], backend=backend) == 4
+    broken = MultiGraph.with_vertices(3)
+    broken.add_edge(0, 1)
+    for backend in ("dict", "csr", "parallel"):
+        with pytest.raises(GraphError):
+            weak_diameter(broken, [0, 1, 2], backend=backend)
