@@ -22,8 +22,10 @@ lint:
 # (asserts >= 2x at n >= 2000), session reuse (>= 1.5x warm prep),
 # sharded vs serial peeling (>= 1.5x at n >= 50k), and the
 # engine-backed parallel BFS paths (>= 1.5x on dense-frontier
-# workloads at n >= 50k, outputs bit-identical per worker count);
-# writes benchmarks/results/BENCH_*.json (incl. BENCH_parallel_bfs).
+# workloads at n >= 50k, outputs bit-identical per worker count), and
+# the simultaneous carve rule vs the doubling csr carve (>= 1.5x
+# best-over-workers at n >= 50k, classes bit-identical everywhere);
+# writes benchmarks/results/BENCH_*.json (incl. BENCH_carve).
 bench-kernel:
 	python benchmarks/bench_kernel.py
 

@@ -29,6 +29,15 @@ Four sections, one per substrate milestone:
   count; sparse-frontier BFS and the sequential ball carving are
   reported unasserted (~1x single-core by design, thread fan-out adds
   on multi-core).
+* ``bench_carve`` — the simultaneous carve rule
+  (``carve_rule="simultaneous"``) vs. the doubling rule's sequential
+  ball-at-a-time carve at n >= 50k.  The doubling rule grows one ball
+  per BFS level per *cluster* (the very sequential path the section
+  above leaves unasserted); the simultaneous rule grows every live
+  ball one level per wave, so a class finishes in O(log n) array-wide
+  waves.  Asserts best-over-workers >= 1.5x vs. the doubling csr
+  carve (in practice the win is algorithmic and large), with classes
+  asserted bit-identical across serial and every worker count.
 
 All sections check output equality where applicable, assert their
 speedup floors (skipped when ``BENCH_SNAPSHOT=1`` — shared CI runners
@@ -759,6 +768,127 @@ def run_parallel_bfs_comparison():
     return rows
 
 
+# ----------------------------------------------------------------------
+# Simultaneous carve rule vs the doubling carve (PR-6)
+# ----------------------------------------------------------------------
+
+CARVE_REPEATS = 3
+CARVE_SPEEDUP_FLOOR = 1.5
+CARVE_WORKER_COUNTS = (1, 2, 4)
+
+# Grids are the doubling rule's worst case at scale: balls stay small
+# (planar growth never doubles for long), so the sequential carve pays
+# ~n ball setups per class while the simultaneous carve finishes the
+# class in O(log n) whole-frontier waves.
+CARVE_WORKLOADS = [
+    ("grid 250x200", True, lambda: grid_graph(250, 200)),
+    ("grid 320x400", True, lambda: grid_graph(320, 400)),
+]
+
+
+def run_carve_comparison():
+    rows = []
+    json_rows = []
+    asserted = []
+    for name, assertable, make in CARVE_WORKLOADS:
+        graph = make()
+
+        def doubling():
+            return network_decomposition(graph, backend="csr").classes
+
+        def simultaneous(workers):
+            return network_decomposition(
+                graph,
+                backend="parallel",
+                workers=workers,
+                carve_rule="simultaneous",
+            ).classes
+
+        # One timed shot for the baseline: it is tens of times slower
+        # than the thing it baselines, so repeat-noise is irrelevant
+        # and repeats would dominate the bench's runtime.
+        start = time.perf_counter()
+        doubling()
+        doubling_ms = (time.perf_counter() - start) * 1e3
+
+        reference = network_decomposition(
+            graph, backend="csr", carve_rule="simultaneous"
+        ).classes
+        best_speedup = 0.0
+        for workers in CARVE_WORKER_COUNTS:
+            # Bit-identical classes for every worker count — the
+            # simultaneous rule's determinism contract.
+            assert simultaneous(workers) == reference
+            sim_ms = _best(lambda: simultaneous(workers), CARVE_REPEATS) * 1e3
+            speedup = doubling_ms / sim_ms
+            best_speedup = max(best_speedup, speedup)
+            rows.append(
+                (
+                    name,
+                    graph.n,
+                    graph.m,
+                    workers,
+                    f"{doubling_ms:.1f}",
+                    f"{sim_ms:.1f}",
+                    f"{speedup:.2f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": name,
+                    "n": graph.n,
+                    "m": graph.m,
+                    "workers": workers,
+                    "doubling_ms": round(doubling_ms, 3),
+                    "simultaneous_ms": round(sim_ms, 3),
+                    "speedup": round(speedup, 3),
+                }
+            )
+        if assertable:
+            asserted.append((name, best_speedup))
+
+    emit(
+        "carve",
+        format_table(
+            "Simultaneous carve rule vs doubling csr carve (n >= 50k)",
+            [
+                "workload",
+                "n",
+                "m",
+                "workers",
+                "doubling ms",
+                "simultaneous ms",
+                "speedup",
+            ],
+            rows,
+        ),
+    )
+    emit_json(
+        "BENCH_carve",
+        {
+            "bench": "carve",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": CARVE_SPEEDUP_FLOOR,
+            "worker_counts": list(CARVE_WORKER_COUNTS),
+            "rows": json_rows,
+            "asserted": [
+                {"workload": name, "best_speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
+
+    if not SNAPSHOT_MODE:
+        for name, best in asserted:
+            assert best >= CARVE_SPEEDUP_FLOOR, (
+                f"{name}: best simultaneous-carve speedup {best:.2f}x < "
+                f"{CARVE_SPEEDUP_FLOOR}x at n >= 50k — the simultaneous "
+                "rule's reason to exist"
+            )
+    return rows
+
+
 def bench_kernel(benchmark=None):
     if benchmark is None:
         run_kernel_comparison()
@@ -804,9 +934,19 @@ def bench_parallel_bfs(benchmark=None):
         once(benchmark, run_parallel_bfs_comparison)
 
 
+def bench_carve(benchmark=None):
+    if benchmark is None:
+        run_carve_comparison()
+    else:
+        from harness import once
+
+        once(benchmark, run_carve_comparison)
+
+
 if __name__ == "__main__":
     bench_kernel()
     bench_traversal()
     bench_session()
     bench_shard()
     bench_parallel_bfs()
+    bench_carve()

@@ -186,6 +186,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         workers=args.workers,
         diameter_mode=args.diameter_mode,
         cut_rule=args.cut_rule,
+        carve_rule=args.carve_rule,
         validation=args.validation,
     )
     from .core.registry import get_task
@@ -307,6 +308,8 @@ def main(argv=None) -> int:
                        choices=("safe", "strong", "auto"))
     p_dec.add_argument("--cut-rule", default="depth_residue",
                        choices=("depth_residue", "conditioned_sampling"))
+    p_dec.add_argument("--carve-rule", default="doubling",
+                       choices=("doubling", "simultaneous"))
     p_dec.add_argument("--validation", default="basic",
                        choices=("none", "basic", "full"))
     p_dec.set_defaults(func=_cmd_decompose)

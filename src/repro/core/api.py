@@ -97,6 +97,7 @@ def forest_decomposition(
     alpha: Optional[int] = None,
     diameter_mode: Optional[str] = None,
     cut_rule: str = "depth_residue",
+    carve_rule: str = "doubling",
     seed: SeedLike = None,
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
@@ -120,6 +121,11 @@ def forest_decomposition(
     cut_rule:
         CUT implementation per Theorem 4.2: ``"depth_residue"`` or
         ``"conditioned_sampling"``.
+    carve_rule:
+        Ball-growth schedule of the network-decomposition phase:
+        ``"doubling"`` (default) or ``"simultaneous"`` (multi-ball
+        growth on the wave engine; deterministic for every worker
+        count).
     backend:
         Graph substrate: ``"auto"`` (default), ``"dict"`` (reference),
         ``"csr"`` (kernel), ``"sharded"`` (multi-worker peeling with
@@ -134,6 +140,7 @@ def forest_decomposition(
     config = DecompositionConfig(
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
         workers=workers, diameter_mode=diameter_mode, cut_rule=cut_rule,
+        carve_rule=carve_rule,
     )
     return decompose(graph, task="forest", config=config, rounds=rounds)
 

@@ -33,6 +33,13 @@ Semantics of the shared fields:
 * ``diameter_mode`` — forest-diameter bounding per Corollary 2.5:
   ``None`` (unbounded), ``"safe"``, ``"strong"``, or ``"auto"``.
 * ``cut_rule`` — CUT implementation per Theorem 4.2.
+* ``carve_rule`` — ball-growth schedule of the network decomposition:
+  ``"doubling"`` (default; one ball at a time, grow until the next
+  shell stops doubling it) or ``"simultaneous"`` (every unvisited
+  vertex is a live seed on a staggered start; contested vertices
+  resolve by ``(level, seed id)``, so output stays bit-identical for
+  every worker and shard count while the carve waves are finally wide
+  enough for the engine to fan out).
 * ``validation`` — ``"none"`` (default), ``"basic"`` (structural
   checks via :mod:`repro.verify` after the run), or ``"full"``
   (structure + palette membership where applicable).
@@ -49,6 +56,7 @@ from ..errors import ValidationError
 from ..rng import SeedLike
 
 VALIDATION_LEVELS = ("none", "basic", "full")
+CARVE_RULES = ("doubling", "simultaneous")
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,7 @@ class DecompositionConfig:
     workers: int = 0
     diameter_mode: Optional[str] = None
     cut_rule: str = "depth_residue"
+    carve_rule: str = "doubling"
     validation: str = "none"
     options: Dict[str, Any] = field(default_factory=dict)
 
@@ -79,6 +88,11 @@ class DecompositionConfig:
         if self.diameter_mode not in (None, "safe", "strong", "auto"):
             raise ValidationError(
                 f"unknown diameter_mode {self.diameter_mode!r}"
+            )
+        if self.carve_rule not in CARVE_RULES:
+            raise ValidationError(
+                f"unknown carve_rule {self.carve_rule!r}; "
+                f"expected one of {CARVE_RULES}"
             )
         if self.epsilon is not None and self.epsilon <= 0:
             raise ValidationError(

@@ -138,6 +138,7 @@ def algorithm2(
     strict_locality: bool = False,
     backend: str = "auto",
     workers: int = 0,
+    carve_rule: str = "doubling",
 ) -> Algorithm2Result:
     """Run Algorithm 2 on ``graph`` with the given per-edge palettes.
 
@@ -150,6 +151,10 @@ def algorithm2(
         The decomposition parameters; ``⌈εα⌉`` is the leftover budget.
     cut_rule:
         ``"depth_residue"`` or ``"conditioned_sampling"`` (Theorem 4.2).
+    carve_rule:
+        Ball-growth schedule of the network decomposition phase:
+        ``"doubling"`` (default) or ``"simultaneous"`` (see
+        :func:`~repro.decomposition.network_decomposition`).
     radius, search_radius:
         ``R`` and ``R'``; defaults follow :func:`default_radii`.
     strict_locality:
@@ -228,7 +233,7 @@ def algorithm2(
             )
         nd = network_decomposition(
             power, counter, radius_cost=2 * d, backend=substrate,
-            workers=workers,
+            workers=workers, carve_rule=carve_rule,
         )
 
     log_n = max(1, math.ceil(math.log2(n + 1)))
@@ -353,6 +358,7 @@ def forest_decomposition_algorithm2(
     search_radius: Optional[int] = None,
     backend: str = "auto",
     workers: int = 0,
+    carve_rule: str = "doubling",
 ) -> ForestDecompositionResult:
     """Theorem 4.6: a (1+ε)α-forest decomposition of a multigraph.
 
@@ -389,6 +395,7 @@ def forest_decomposition_algorithm2(
             rounds=counter,
             backend=backend,
             workers=workers,
+            carve_rule=carve_rule,
         )
 
     coloring: Dict[int, int] = dict(result.colored)

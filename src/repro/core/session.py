@@ -340,6 +340,7 @@ def _run_forest(
         config.epsilon,
         alpha=session.resolve_alpha(config),
         cut_rule=config.cut_rule,
+        carve_rule=config.carve_rule,
         diameter_mode=config.diameter_mode,
         seed=config.seed,
         rounds=rounds,

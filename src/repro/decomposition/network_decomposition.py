@@ -35,6 +35,7 @@ from ..errors import DecompositionError
 from ..graph.csr import CSRGraph, _concat_ranges, resolve_backend, snapshot_of
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
+from ..parallel.bfs import resolve_claims
 from ..parallel.engine import WaveEngine, engine_for
 from ..rng import SeedLike, make_rng
 
@@ -43,6 +44,12 @@ GraphLike = Union[MultiGraph, CSRGraph]
 #: backends that run on the flat-array kernel ("parallel" additionally
 #: routes ball-growth shells through the shared wave engine)
 _KERNEL = ("csr", "parallel")
+
+#: ball-growth rules: "doubling" carves one ball at a time (grow until
+#: the next shell stops doubling it), "simultaneous" grows every live
+#: seed at once on staggered starts and resolves contested vertices by
+#: (level, seed id)
+CARVE_RULES = ("doubling", "simultaneous")
 
 
 def _resolve_backend(graph: GraphLike, backend: str) -> str:
@@ -86,6 +93,7 @@ def network_decomposition(
     radius_cost: int = 1,
     backend: str = "auto",
     workers: int = 0,
+    carve_rule: str = "doubling",
 ) -> NetworkDecomposition:
     """Deterministic (O(log n), O(log n)) network decomposition.
 
@@ -95,15 +103,28 @@ def network_decomposition(
     algorithms cited by Theorem 4.1.
 
     Accepts a :class:`MultiGraph` or a CSR snapshot (e.g. the output of
-    ``power_graph(..., backend="csr")``); the csr backend grows balls
-    with mask-vectorized frontier sweeps and produces exactly the
-    clusters of the dict reference path.  The parallel backend routes
-    each ball's shell expansion through the shared wave engine
-    (shard-fanned gathers + scatter-dedup reconcile; ``workers``
-    threads) — the carve order is inherently sequential (each ball's
-    shell masks later seeds), so clusters stay identical for every
-    worker count.
+    ``power_graph(..., backend="csr")``); the csr backend produces
+    exactly the clusters of the dict reference path.
+
+    ``carve_rule`` picks the ball-growth schedule:
+
+    * ``"doubling"`` (default) — one ball at a time: grow a BFS ball
+      from the minimum unvisited id until the next shell would not
+      double it, carve it, defer its boundary shell.  The carve order
+      is inherently sequential (each ball's shell masks later seeds),
+      so ``backend="parallel"`` only fans out individual shell gathers.
+    * ``"simultaneous"`` — every unvisited vertex is a live seed with a
+      deterministic hash-derived staggered start; each wave grows every
+      live ball one BFS level through a single fanned gather, and
+      contested vertices resolve by ``(level, seed id)`` — the
+      tie-break :func:`_mpx_sweep_csr` uses — so clusters are
+      bit-identical for every worker count x shard plan while the wave
+      finally has enough frontier for the engine to fan out.
     """
+    if carve_rule not in CARVE_RULES:
+        raise DecompositionError(
+            f"unknown carve_rule {carve_rule!r}; expected one of {CARVE_RULES}"
+        )
     counter = ensure_counter(rounds)
     n = graph.n
     if n == 0:
@@ -113,7 +134,12 @@ def network_decomposition(
     if resolved in _KERNEL:
         snap = snapshot_of(graph)
         engine = engine_for(snap, workers) if resolved == "parallel" else None
-        classes = _decompose_csr(snap, n, engine)
+        if carve_rule == "simultaneous":
+            classes = _decompose_simultaneous_csr(snap, n, engine)
+        else:
+            classes = _decompose_csr(snap, n, engine)
+    elif carve_rule == "simultaneous":
+        classes = _decompose_simultaneous_dict(graph, n)
     else:
         classes = _decompose_dict(graph, n)
 
@@ -129,7 +155,7 @@ def _decompose_dict(graph: GraphLike, n: int) -> List[List[List[int]]]:
     guard = 2 * max(1, math.ceil(math.log2(n + 1))) + 4
 
     while remaining:
-        if len(classes) > guard:
+        if len(classes) >= guard:
             raise DecompositionError("network decomposition did not converge")
         clusters: List[List[int]] = []
         unvisited = set(remaining)
@@ -163,12 +189,13 @@ def _decompose_csr(
     order_by_id = np.argsort(vertex_ids, kind="stable").tolist()
     remaining = np.ones(n, dtype=bool)
     stamp = np.full(n, -1, dtype=np.int64)
+    scratch = np.zeros(n, dtype=bool)
     classes: List[List[List[int]]] = []
     guard = 2 * max(1, math.ceil(math.log2(n + 1))) + 4
     token = 0
 
     while remaining.any():
-        if len(classes) > guard:
+        if len(classes) >= guard:
             raise DecompositionError("network decomposition did not converge")
         clusters: List[List[int]] = []
         unvisited = remaining.copy()
@@ -180,7 +207,7 @@ def _decompose_csr(
                 break
             seed_index = order_by_id[cursor]
             ball, shell = _grow_doubling_ball_csr(
-                snapshot, seed_index, unvisited, stamp, token, engine
+                snapshot, seed_index, unvisited, stamp, token, engine, scratch
             )
             token += 1
             clusters.append(np.sort(vertex_ids[ball]).tolist())
@@ -219,14 +246,18 @@ def _grow_doubling_ball_csr(
     stamp: np.ndarray,
     token: int,
     engine: Optional[WaveEngine] = None,
+    scratch: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Frontier-vectorized :func:`_grow_doubling_ball` over dense
     indices; returns (ball indices, next-shell indices).  ``stamp``
     marks ball membership with ``token`` (one shared array instead of a
-    fresh mask per cluster).  With an engine, each shell's gather is
-    one wave: shard-phase kernels slice the frozen CSR arrays, the
-    reconcile dedups and filters — shell sets are order-free, so the
-    ball is identical under any worker count."""
+    fresh mask per cluster).  ``scratch`` is an all-False bool mask the
+    dense-shell path borrows for its scatter dedup (and restores before
+    returning) — one allocation per decomposition instead of one per
+    shell.  With an engine, each shell's gather is one wave:
+    shard-phase kernels slice the frozen CSR arrays, the reconcile
+    dedups and filters — shell sets are order-free, so the ball is
+    identical under any worker count."""
     n = snapshot.num_vertices
     offsets = snapshot.vertex_offsets
     nbr = snapshot.neighbor_ids
@@ -255,9 +286,11 @@ def _grow_doubling_ball_csr(
         if candidates.size > n >> 2:
             # Dense frontier: a scatter mask dedups in O(n + |half|),
             # beating unique's O(|half| log |half|) sort.
-            hit = np.zeros(n, dtype=bool)
+            hit = scratch if scratch is not None else np.zeros(n, dtype=bool)
             hit[candidates] = True
             shell = np.flatnonzero(hit & allowed & (stamp != token))
+            if scratch is not None:
+                hit[candidates] = False
         else:
             shell = np.unique(candidates)
             shell = shell[allowed[shell] & (stamp[shell] != token)]
@@ -268,6 +301,353 @@ def _grow_doubling_ball_csr(
         parts.append(shell)
         ball_size += int(shell.size)
         frontier = shell
+
+
+# ----------------------------------------------------------------------
+# Simultaneous multi-ball carving (carve_rule="simultaneous")
+# ----------------------------------------------------------------------
+#
+# Per class, every unvisited vertex is a live seed.  Seed ``v`` gets a
+# deterministic integer shift delta(v, class) with geometric tail
+# P(delta >= k) = 2^-k, capped at T = ceil(log2(|unvisited| + 1)), and
+# activates (claims itself) at wave ``T - delta`` if still unclaimed.
+# Each wave, every vertex claimed in the previous wave proposes its
+# unclaimed neighbors; all of a wave's proposals (growth + activations)
+# resolve jointly per target by minimum seed id — priority
+# ``(level, seed id)``, the tie-break the MPX array-Dijkstra uses.
+# This is the integer-shift analog of [MPX13]'s exponential shifts
+# (and of the [LS93]/[EN16] shape behind Theorem 4.1): every vertex is
+# claimed by wave T (its own activation wins if nothing else did), and
+# claims extend only from already-claimed neighbors, so each ball is
+# connected with radius <= delta(seed) <= T from its seed.
+#
+# Each claim records its *parent*: among the winning seed's proposers
+# the one with minimum id (activations parent themselves), so the
+# parent chain walks back to the seed along claim waves.  A vertex is
+# *carved* (kept in the class) when (a) no neighbor sits in a ball
+# with a smaller seed id — the one-sided boundary rule: if two
+# adjacent vertices end in different balls, only the one in the
+# larger-id ball defers to the next class — and (b) its whole parent
+# chain is kept.  (a) makes same-class clusters pairwise non-adjacent
+# (the smaller-id side of any cross-ball edge keeps, the larger
+# defers), (b) keeps each cluster connected with an in-cluster path of
+# length <= T to its seed, so strong cluster diameter is <= 2T.  The
+# minimum-id surviving seed can never defer, so every class makes
+# progress; the convergence guard bounds the class count exactly as
+# for the doubling rule.
+#
+# Both backends run this schedule step for step: the dict path with
+# scalar hashes and per-wave dicts, the csr path with the vectorized
+# hash and sort-based claim resolution (`resolve_claims`), which is
+# order-free — so dict == csr == parallel holds bit for bit for every
+# worker count and shard plan.
+
+_SHIFT_MIX_1 = 0x9E3779B97F4A7C15
+_SHIFT_MIX_2 = 0xBF58476D1CE4E5B9
+_SHIFT_MIX_3 = 0x94D049BB133111EB
+_CLASS_SALT = 0xC2B2AE3D27D4EB4F
+_MASK64 = (1 << 64) - 1
+
+#: owner-array sentinels for the csr path
+_OUTSIDE = -2
+_UNCLAIMED = -1
+
+
+def _carve_shift(vid: int, class_index: int, cap: int) -> int:
+    """Scalar staggered-start shift: trailing-zero count of a
+    splitmix64-style hash of ``(vertex id, class index)``, capped.
+    Exact integer arithmetic — :func:`_carve_shift_array` reproduces it
+    bit for bit in numpy uint64."""
+    h = (((vid + 1) * _SHIFT_MIX_1) & _MASK64) ^ (
+        ((class_index + 1) * _CLASS_SALT) & _MASK64
+    )
+    h = ((h ^ (h >> 30)) * _SHIFT_MIX_2) & _MASK64
+    h = ((h ^ (h >> 27)) * _SHIFT_MIX_3) & _MASK64
+    h ^= h >> 31
+    if h == 0:
+        return cap
+    tz = (h & -h).bit_length() - 1
+    return tz if tz < cap else cap
+
+
+def _carve_shift_array(
+    vids: np.ndarray, class_index: int, cap: int
+) -> np.ndarray:
+    """Vectorized :func:`_carve_shift` (uint64 wraparound arithmetic =
+    the scalar path's masked python ints, element for element)."""
+    h = (vids.astype(np.uint64) + np.uint64(1)) * np.uint64(_SHIFT_MIX_1)
+    h ^= np.uint64(((class_index + 1) * _CLASS_SALT) & _MASK64)
+    h = (h ^ (h >> np.uint64(30))) * np.uint64(_SHIFT_MIX_2)
+    h = (h ^ (h >> np.uint64(27))) * np.uint64(_SHIFT_MIX_3)
+    h ^= h >> np.uint64(31)
+    lsb = h & (~h + np.uint64(1))
+    # log2 of an exact power of two: float64 holds every 2^k <= 2^63
+    shifts = np.full(h.shape, cap, dtype=np.int64)
+    nonzero = lsb != 0
+    shifts[nonzero] = np.minimum(
+        np.log2(lsb[nonzero].astype(np.float64)).astype(np.int64), cap
+    )
+    return shifts
+
+
+def _decompose_simultaneous_dict(
+    graph: GraphLike, n: int
+) -> List[List[List[int]]]:
+    """Reference simultaneous carve on the dict adjacency."""
+    remaining: Set[int] = set(graph.vertices())
+    classes: List[List[List[int]]] = []
+    guard = 2 * max(1, math.ceil(math.log2(n + 1))) + 4
+
+    while remaining:
+        if len(classes) >= guard:
+            raise DecompositionError("network decomposition did not converge")
+        kept = _carve_class_simultaneous_dict(graph, remaining, len(classes))
+        clusters = [sorted(members) for _seed, members in sorted(kept.items())]
+        classes.append(clusters)
+        for members in kept.values():
+            remaining.difference_update(members)
+    return classes
+
+
+def _carve_class_simultaneous_dict(
+    graph: GraphLike, live: Set[int], class_index: int
+) -> Dict[int, List[int]]:
+    """One simultaneous class: seed -> kept members (fully deferred
+    balls simply contribute no entry)."""
+    cap = max(1, math.ceil(math.log2(len(live) + 1)))
+    by_start: Dict[int, List[int]] = {}
+    for v in live:
+        start = cap - _carve_shift(v, class_index, cap)
+        by_start.setdefault(start, []).append(v)
+
+    owner: Dict[int, int] = {}
+    parent: Dict[int, int] = {}
+    waves: List[List[int]] = []
+    frontier: List[int] = []
+    for wave in range(cap + 1):
+        # proposal = (seed id, proposer id); the minimum pair wins the
+        # target, so ownership goes to the smallest seed and the parent
+        # link to that seed's smallest-id proposer.
+        proposals: Dict[int, Tuple[int, int]] = {}
+        for u in frontier:
+            candidate = (owner[u], u)
+            for other in graph.neighbors(u):
+                if other in live and other not in owner:
+                    best = proposals.get(other)
+                    if best is None or best > candidate:
+                        proposals[other] = candidate
+        for v in by_start.get(wave, ()):
+            if v not in owner:
+                best = proposals.get(v)
+                if best is None or best > (v, v):
+                    proposals[v] = (v, v)
+        for target, (seed, proposer) in proposals.items():
+            owner[target] = seed
+            parent[target] = proposer
+        frontier = sorted(proposals)
+        if frontier:
+            waves.append(frontier)
+        if len(owner) == len(live):
+            break
+
+    # Boundary rule + parent-chain cascade, in claim-wave order
+    # (parents are claimed strictly earlier, so their verdict is in).
+    kept: Set[int] = set()
+    for wave_vertices in waves:
+        for v in wave_vertices:
+            mine = owner[v]
+            if any(
+                other in live and owner[other] < mine
+                for other in graph.neighbors(v)
+            ):
+                continue
+            if mine == v or parent[v] in kept:
+                kept.add(v)
+
+    clusters: Dict[int, List[int]] = {}
+    for v in kept:
+        clusters.setdefault(owner[v], []).append(v)
+    return clusters
+
+
+def _decompose_simultaneous_csr(
+    snapshot: CSRGraph, n: int, engine: Optional[WaveEngine] = None
+) -> List[List[List[int]]]:
+    """Simultaneous carve over dense-index arrays; cluster-for-cluster
+    equal to :func:`_decompose_simultaneous_dict`.
+
+    Ball priority compares seed *ids*, so the csr path works in id
+    ranks (position in the id-sorted vertex order): rank comparisons
+    equal id comparisons, and every state array stays dense-indexed.
+    With an engine, each wave's proposal gather and each boundary/
+    cascade scan fans out across shard-aligned groups; the reconcile
+    (:func:`~repro.parallel.bfs.resolve_claims`) is order-free, so
+    clusters are identical for every worker count and shard plan.
+    """
+    vertex_ids = snapshot.vertex_ids
+    order_by_id = np.argsort(vertex_ids, kind="stable")
+    rank_of = np.empty(n, dtype=np.int64)
+    rank_of[order_by_id] = np.arange(n, dtype=np.int64)
+
+    remaining = np.ones(n, dtype=bool)
+    owner = np.empty(n, dtype=np.int64)
+    parent = np.empty(n, dtype=np.int64)
+    kept = np.zeros(n, dtype=bool)
+    classes: List[List[List[int]]] = []
+    guard = 2 * max(1, math.ceil(math.log2(n + 1))) + 4
+
+    while remaining.any():
+        if len(classes) >= guard:
+            raise DecompositionError("network decomposition did not converge")
+        clusters, kept_indices = _carve_class_simultaneous_csr(
+            snapshot,
+            remaining,
+            len(classes),
+            rank_of,
+            order_by_id,
+            owner,
+            parent,
+            kept,
+            engine,
+        )
+        classes.append(clusters)
+        remaining[kept_indices] = False
+    return classes
+
+
+def _carve_class_simultaneous_csr(
+    snapshot: CSRGraph,
+    remaining: np.ndarray,
+    class_index: int,
+    rank_of: np.ndarray,
+    order_by_id: np.ndarray,
+    owner: np.ndarray,
+    parent: np.ndarray,
+    kept: np.ndarray,
+    engine: Optional[WaveEngine],
+) -> Tuple[List[List[int]], np.ndarray]:
+    """Grow, bound and cascade one simultaneous class; returns
+    ``(clusters, kept dense indices)``.  ``owner``/``parent``/``kept``
+    are reusable scratch arrays owned by the driver."""
+    offsets = snapshot.vertex_offsets
+    nbr = snapshot.neighbor_ids
+    vertex_ids = snapshot.vertex_ids
+    n = snapshot.num_vertices
+
+    live = np.flatnonzero(remaining)
+    cap = max(1, math.ceil(math.log2(live.size + 1)))
+    starts = cap - _carve_shift_array(vertex_ids[live], class_index, cap)
+    owner[:] = _OUTSIDE
+    owner[live] = _UNCLAIMED
+
+    # Bucket activations by start wave (one argsort, then slices).
+    act_order = np.argsort(starts, kind="stable")
+    act_sorted = live[act_order]
+    bounds = np.searchsorted(
+        starts[act_order], np.arange(cap + 2, dtype=np.int64)
+    )
+
+    def propose(part: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # Proposal priority packs (seed rank, proposer rank) into one
+        # key — the minimum recovers the dict path's (seed id,
+        # proposer id) lexicographic winner, because ranks order
+        # exactly like ids.
+        half = _concat_ranges(offsets[part], offsets[part + 1])
+        counts = offsets[part + 1] - offsets[part]
+        priorities = np.repeat(owner[part] * n + rank_of[part], counts)
+        return nbr[half], priorities
+
+    waves: List[np.ndarray] = []
+    frontier = np.empty(0, dtype=np.int64)
+    claimed = 0
+    first_wave = int(starts.min()) if live.size else cap + 1
+    for wave in range(first_wave, cap + 1):
+        if frontier.size:
+            cost = int((offsets[frontier + 1] - offsets[frontier]).sum())
+            if engine is not None:
+                targets, priorities = engine.gather(propose, frontier, cost)
+            else:
+                targets, priorities = propose(frontier)
+            open_targets = owner[targets] == _UNCLAIMED
+            targets = targets[open_targets]
+            priorities = priorities[open_targets]
+        else:
+            targets = np.empty(0, dtype=np.int64)
+            priorities = np.empty(0, dtype=np.int64)
+        activations = act_sorted[bounds[wave] : bounds[wave + 1]]
+        activations = activations[owner[activations] == _UNCLAIMED]
+        if activations.size:
+            self_rank = rank_of[activations]
+            targets = np.concatenate((targets, activations))
+            priorities = np.concatenate(
+                (priorities, self_rank * n + self_rank)
+            )
+        if targets.size == 0:
+            continue
+        won_targets, won_priorities = resolve_claims(
+            targets, priorities, n * n
+        )
+        owner[won_targets] = won_priorities // n
+        parent[won_targets] = order_by_id[won_priorities % n]
+        waves.append(won_targets)
+        frontier = won_targets
+        claimed += won_targets.size
+        if claimed == live.size:
+            break
+
+    # One-sided boundary rule: one full fanned gather over the class
+    # marks every vertex adjacent to a smaller-seed ball as deferred.
+    def boundary_ok(part: np.ndarray) -> np.ndarray:
+        half = _concat_ranges(offsets[part], offsets[part + 1])
+        counts = offsets[part + 1] - offsets[part]
+        theirs = owner[nbr[half]]
+        foreign = (theirs >= 0) & (theirs < np.repeat(owner[part], counts))
+        return ~_segment_any(foreign, counts)
+
+    cost = int((offsets[live + 1] - offsets[live]).sum())
+    if engine is not None:
+        ok = engine.gather(boundary_ok, live, cost)
+    else:
+        ok = boundary_ok(live)
+    kept[live] = ok
+
+    # Parent-chain cascade in claim-wave order (parents are claimed
+    # strictly earlier, so their verdict is already final): a vertex
+    # survives only if its whole chain back to the seed does.
+    for wave_vertices in waves:
+        kept[wave_vertices] &= kept[parent[wave_vertices]] | (
+            owner[wave_vertices] == rank_of[wave_vertices]
+        )
+
+    kept_indices = np.flatnonzero(kept & remaining)
+    if kept_indices.size == 0:
+        return [], kept_indices
+    owners = owner[kept_indices]
+    order = np.lexsort((vertex_ids[kept_indices], owners))
+    grouped = kept_indices[order]
+    group_owner = owners[order]
+    cuts = np.flatnonzero(group_owner[1:] != group_owner[:-1]) + 1
+    flat = vertex_ids[grouped].tolist()
+    edges = [0, *cuts.tolist(), len(flat)]
+    clusters = [flat[a:b] for a, b in zip(edges[:-1], edges[1:])]
+    return clusters, kept_indices
+
+
+def _segment_any(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-segment logical OR of ``values`` split into consecutive
+    segments of ``counts`` lengths (CSR neighbor reductions).  Handles
+    empty segments, which ``logical_or.reduceat`` alone does not."""
+    out = np.zeros(counts.size, dtype=bool)
+    if values.size == 0:
+        return out
+    starts = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    padded = np.concatenate((values, np.zeros(1, dtype=bool)))
+    reduced = np.logical_or.reduceat(
+        padded, np.minimum(starts, values.size)
+    )
+    np.logical_and(reduced, counts > 0, out=out)
+    return out
 
 
 def validate_network_decomposition(
@@ -420,18 +800,33 @@ def _mpx_sweep_csr(snapshot: CSRGraph, beta: float, rng) -> Dict[int, int]:
 def cut_edges_of_clustering(
     graph: GraphLike, head_of: Dict[int, int], backend: str = "auto"
 ) -> List[int]:
-    """Edge ids whose endpoints lie in different MPX clusters."""
+    """Edge ids whose endpoints lie in different MPX clusters.
+
+    A clustering that misses a vertex of the graph raises
+    :class:`DecompositionError` naming the vertex (on both backends),
+    instead of leaking a bare ``KeyError`` out of the gather.
+    """
     if _resolve_backend(graph, backend) in _KERNEL:
         snap = snapshot_of(graph)
         if snap.num_edges == 0:
             return []
-        heads = np.fromiter(
-            (head_of[v] for v in snap.vertex_id_list()),
-            dtype=np.int64,
-            count=snap.num_vertices,
-        )
+        try:
+            heads = np.fromiter(
+                (head_of[v] for v in snap.vertex_id_list()),
+                dtype=np.int64,
+                count=snap.num_vertices,
+            )
+        except KeyError as exc:
+            raise DecompositionError(
+                f"clustering has no head for vertex {exc.args[0]}"
+            ) from None
         cut = heads[snap.edge_u] != heads[snap.edge_v]
         return snap.edge_id[cut].tolist()
-    return [
-        eid for eid, u, v in graph.edges() if head_of[u] != head_of[v]
-    ]
+    try:
+        return [
+            eid for eid, u, v in graph.edges() if head_of[u] != head_of[v]
+        ]
+    except KeyError as exc:
+        raise DecompositionError(
+            f"clustering has no head for vertex {exc.args[0]}"
+        ) from None

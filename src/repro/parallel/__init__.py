@@ -31,6 +31,7 @@ from .bfs import (
     frontier_candidates,
     induced_eccentricity_sweep,
     parallel_bfs_distance_array,
+    resolve_claims,
 )
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "parallel_bfs_distance_array",
     "frontier_candidates",
     "induced_eccentricity_sweep",
+    "resolve_claims",
     "DENSE_WAVE_DIVISOR",
     "FAN_OUT_MIN_HALF_EDGES",
     "FAN_OUT_MIN_SCAN_VERTICES",

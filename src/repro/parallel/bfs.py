@@ -35,6 +35,7 @@ __all__ = [
     "parallel_bfs_distance_array",
     "frontier_candidates",
     "induced_eccentricity_sweep",
+    "resolve_claims",
     "DENSE_WAVE_DIVISOR",
 ]
 
@@ -42,6 +43,50 @@ __all__ = [
 #: half-edges dedups via scatter mask instead of sort — O(n + h) vs
 #: O(h log h), identical ascending-unique output.
 DENSE_WAVE_DIVISOR = 8
+
+
+def resolve_claims(
+    targets: np.ndarray,
+    priorities: np.ndarray,
+    limit: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministically resolve contested writes of one wave.
+
+    ``targets`` and ``priorities`` are parallel arrays of proposals
+    (several shard kernels may propose the same target with different
+    priorities); the winner of each target is its **minimum** priority.
+    Returns ``(winning targets ascending, their priorities)``.
+
+    The resolution is *order-free*: every permutation or concatenation
+    order of the proposal arrays produces byte-identical output, which
+    is what lets a reconcile phase built on it keep the engine's
+    "bit-identical for every worker count x shard plan" contract.
+
+    ``limit`` is an exclusive upper bound on the priority values.  When
+    ``max(target) * limit`` fits comfortably in int64 the proposals
+    pack into single keys (one flat sort); otherwise a lexsort runs the
+    same resolution without packing.
+    """
+    if targets.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    targets = targets.astype(np.int64, copy=False)
+    priorities = priorities.astype(np.int64, copy=False)
+    span = int(limit)
+    if span > 0 and (int(targets.max()) + 1) * span < (1 << 62):
+        keys = targets * span + priorities
+        keys.sort()
+        owners = keys // span
+        first = np.ones(owners.size, dtype=bool)
+        np.not_equal(owners[1:], owners[:-1], out=first[1:])
+        winners = keys[first]
+        return winners // span, winners % span
+    order = np.lexsort((priorities, targets))
+    targets = targets[order]
+    priorities = priorities[order]
+    first = np.ones(targets.size, dtype=bool)
+    np.not_equal(targets[1:], targets[:-1], out=first[1:])
+    return targets[first], priorities[first]
 
 
 def frontier_candidates(

@@ -173,12 +173,40 @@ atexit.register(shutdown)
 def pool_stats() -> Dict[str, int]:
     """Aggregate pool statistics (ints, cache_info-friendly):
     live pool count, their total worker threads, and how many waves
-    were dispatched to a pool (vs. run inline) process-wide."""
+    were dispatched to a pool (vs. run inline) process-wide.
+
+    ``_POOLS`` is keyed by worker count, so the key sum *is* the
+    thread total — no reliance on ``ThreadPoolExecutor`` internals
+    (an earlier version read the private ``_max_workers`` attribute,
+    which an executor implementation change would break).
+    """
     return {
         "pools": len(_POOLS),
-        "workers": sum(pool._max_workers for pool in _POOLS.values()),
+        "workers": sum(_POOLS.keys()),
         "dispatches": _DISPATCHES,
     }
+
+
+def _map_on_pool(workers: int, fn, items) -> Optional[list]:
+    """Run ``fn`` over ``items`` on the shared pool; ``None`` if the
+    pool rejected the work.
+
+    :func:`shutdown` may clear ``_POOLS`` between a wave's
+    ``_pool_for`` lookup and its dispatch (atexit, a test's teardown,
+    an embedding application shutting the library down mid-run), in
+    which case the executor raises ``RuntimeError: cannot schedule new
+    futures after shutdown``.  Callers treat ``None`` as "run this
+    wave inline" — same results (kernels are deterministic in wave
+    content), no crash.  A dead executor still cached in ``_POOLS``
+    is evicted so later waves get a fresh pool.
+    """
+    pool = _pool_for(workers)
+    try:
+        return list(pool.map(fn, items))
+    except RuntimeError:
+        if _POOLS.get(workers) is pool:
+            del _POOLS[workers]
+        return None
 
 
 def _concat_arrays(parts: List[np.ndarray]) -> np.ndarray:
@@ -291,15 +319,16 @@ class WaveEngine:
         if self.should_fan_out(cost, int(work.size)):
             groups = self._index_groups(work)
             if len(groups) > 1:
-                self._note_dispatch()
-                parts = list(_pool_for(self.workers).map(kernel, groups))
-                first = parts[0]
-                if isinstance(first, tuple):
-                    return tuple(
-                        _concat_arrays([p[i] for p in parts])
-                        for i in range(len(first))
-                    )
-                return _concat_arrays(parts)
+                parts = _map_on_pool(self.workers, kernel, groups)
+                if parts is not None:
+                    self._note_dispatch()
+                    first = parts[0]
+                    if isinstance(first, tuple):
+                        return tuple(
+                            _concat_arrays([p[i] for p in parts])
+                            for i in range(len(first))
+                        )
+                    return _concat_arrays(parts)
         return kernel(work)
 
     def wave(
@@ -327,10 +356,12 @@ class WaveEngine:
         def run(shard: int) -> np.ndarray:
             return kernel(int(bounds[shard]), int(bounds[shard + 1]))
 
+        parts = None
         if self.workers > 1 and self.plan.num_items >= self.min_scan_items:
-            self._note_dispatch()
-            parts = list(_pool_for(self.workers).map(run, shards))
-        else:
+            parts = _map_on_pool(self.workers, run, shards)
+            if parts is not None:
+                self._note_dispatch()
+        if parts is None:
             parts = [run(s) for s in shards]
         parts = [p for p in parts if p.size]
         if not parts:
@@ -358,13 +389,14 @@ class WaveEngine:
         if chunks <= 1 or not self.should_fan_out(cost, count):
             return [fn(0, count)]
         bounds = [(index * count) // chunks for index in range(chunks + 1)]
-        self._note_dispatch()
-        return list(
-            _pool_for(self.workers).map(
-                lambda pair: fn(pair[0], pair[1]),
-                list(zip(bounds[:-1], bounds[1:])),
-            )
+        pairs = list(zip(bounds[:-1], bounds[1:]))
+        parts = _map_on_pool(
+            self.workers, lambda pair: fn(pair[0], pair[1]), pairs
         )
+        if parts is None:
+            return [fn(lo, hi) for lo, hi in pairs]
+        self._note_dispatch()
+        return parts
 
     def __repr__(self) -> str:
         return (

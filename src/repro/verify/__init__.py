@@ -4,6 +4,7 @@ from .validators import (
     check_forest_decomposition,
     check_forest_diameter,
     check_hpartition,
+    check_network_decomposition,
     check_orientation,
     check_palettes_respected,
     check_pseudoforest_decomposition,
@@ -27,6 +28,7 @@ __all__ = [
     "forest_diameter_of_coloring",
     "check_orientation",
     "check_hpartition",
+    "check_network_decomposition",
     "check_vertex_coloring_proper",
     "pseudoarboricity_upper_bound_check",
     "count_colors",

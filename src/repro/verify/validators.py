@@ -107,6 +107,104 @@ def check_forest_diameter(
     return worst
 
 
+def check_network_decomposition(
+    graph: MultiGraph,
+    classes: Sequence[Sequence[Sequence[int]]],
+    max_diameter: Optional[int] = None,
+    max_classes: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Validate a (D, χ)-network decomposition; return ``(D, χ)``.
+
+    ``classes`` is a list of color classes, each a list of clusters
+    (vertex lists), as produced by
+    :func:`repro.decomposition.network_decomposition`.  Re-derives
+    every guarantee from scratch (plain BFS over the dict adjacency —
+    none of the carve kernels):
+
+    * the clusters partition the vertex set exactly;
+    * every cluster is connected with **strong** diameter (measured
+      inside the cluster's induced subgraph) at most ``max_diameter``;
+    * two clusters of the same class share no edge;
+    * with ``max_classes``, the number of classes is capped.
+    """
+    seen: Set[int] = set()
+    for clusters in classes:
+        for cluster in clusters:
+            for v in cluster:
+                if v in seen:
+                    raise ValidationError(
+                        f"vertex {v} appears in more than one cluster"
+                    )
+                seen.add(v)
+    vertices = set(graph.vertices())
+    missing = vertices - seen
+    if missing:
+        raise ValidationError(
+            f"{len(missing)} vertices unclustered "
+            f"(e.g. {sorted(missing)[:5]})"
+        )
+    extra = seen - vertices
+    if extra:
+        raise ValidationError(
+            f"clusters mention unknown vertices (e.g. {sorted(extra)[:5]})"
+        )
+
+    worst_diameter = 0
+    for index, clusters in enumerate(classes):
+        cluster_of: Dict[int, int] = {}
+        for cid, cluster in enumerate(clusters):
+            members = set(cluster)
+            for v in cluster:
+                cluster_of[v] = cid
+            worst_diameter = max(
+                worst_diameter, _strong_diameter(graph, members)
+            )
+        for v, cid in cluster_of.items():
+            for other in graph.neighbors(v):
+                if cluster_of.get(other, cid) != cid:
+                    raise ValidationError(
+                        f"class {index}: edge {v}-{other} joins two of "
+                        f"its clusters"
+                    )
+    if max_diameter is not None and worst_diameter > max_diameter:
+        raise ValidationError(
+            f"cluster strong diameter {worst_diameter} exceeds cap "
+            f"{max_diameter}"
+        )
+    if max_classes is not None and len(classes) > max_classes:
+        raise ValidationError(
+            f"{len(classes)} classes used, cap is {max_classes}"
+        )
+    return worst_diameter, len(classes)
+
+
+def _strong_diameter(graph: MultiGraph, members: Set[int]) -> int:
+    """Exact strong diameter of the subgraph induced on ``members``
+    (max over BFS eccentricities); raises if it is disconnected."""
+    if not members:
+        return 0
+    worst = 0
+    for source in members:
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for other in graph.neighbors(v):
+                    if other in members and other not in dist:
+                        dist[other] = dist[v] + 1
+                        nxt.append(other)
+            frontier = nxt
+        if len(dist) != len(members):
+            missing = next(iter(members - dist.keys()))
+            raise ValidationError(
+                f"cluster containing {source} is disconnected "
+                f"({missing} unreachable inside it)"
+            )
+        worst = max(worst, max(dist.values()))
+    return worst
+
+
 def check_orientation(
     graph: MultiGraph,
     orientation: Dict[int, int],

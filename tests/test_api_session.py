@@ -59,9 +59,17 @@ def test_config_from_json_rejects_unknown_fields():
         DecompositionConfig.from_json({"epsilon": 0.5, "bogus": 1})
 
 
+def test_config_carve_rule_roundtrip():
+    config = DecompositionConfig(carve_rule="simultaneous")
+    assert DecompositionConfig.from_json(config.to_json()) == config
+    assert config.to_json()["carve_rule"] == "simultaneous"
+
+
 def test_config_rejects_bad_values():
     with pytest.raises(ValidationError):
         DecompositionConfig(validation="loud")
+    with pytest.raises(ValidationError):
+        DecompositionConfig(carve_rule="doubing")
     with pytest.raises(ValidationError):
         DecompositionConfig(diameter_mode="sideways")
     with pytest.raises(ValidationError):

@@ -180,6 +180,23 @@ def test_cli_decompose_forest(graph_file, capsys):
     assert "colors used:" in out
 
 
+def test_cli_decompose_carve_rule(graph_file, capsys):
+    """--carve-rule reaches the config; both rules produce a valid
+    forest decomposition with the same color count on this instance."""
+    import json
+
+    outputs = {}
+    for rule in ("doubling", "simultaneous"):
+        assert cli_main([
+            "decompose", graph_file, "--task", "forest", "--alpha", "2",
+            "--seed", "7", "--carve-rule", rule, "--json",
+            "--validation", "basic",
+        ]) == 0
+        outputs[rule] = json.loads(capsys.readouterr().out)
+    assert outputs["doubling"]["config"]["carve_rule"] == "doubling"
+    assert outputs["simultaneous"]["config"]["carve_rule"] == "simultaneous"
+
+
 def test_cli_decompose_orientation_json(graph_file, capsys):
     import json
 

@@ -262,6 +262,18 @@ def test_network_decomposition_matches_reference(seed):
 
 
 @pytest.mark.parametrize("seed", range(0, 200, 5))
+def test_simultaneous_carve_matches_reference(seed):
+    graph = random_multigraph(seed)
+    ref = network_decomposition(
+        graph, backend="dict", carve_rule="simultaneous"
+    )
+    csr = network_decomposition(
+        graph, backend="csr", carve_rule="simultaneous"
+    )
+    assert csr.classes == ref.classes
+
+
+@pytest.mark.parametrize("seed", range(0, 200, 5))
 def test_partial_network_decomposition_matches_reference(seed):
     graph = random_multigraph(seed)
     for beta in (0.2, 0.6):

@@ -194,3 +194,128 @@ def test_mpx_csr_backend_matches():
     assert cut_edges_of_clustering(g, a, backend="csr") == cut_edges_of_clustering(
         g, a, backend="dict"
     )
+
+
+# ----------------------------------------------------------------------
+# Simultaneous carve rule
+# ----------------------------------------------------------------------
+
+
+def _simultaneous_caps(n):
+    """The simultaneous carve's proven bounds: strong diameter <= 2L,
+    classes <= 2L + 4 with L = ceil(log2(n + 1))."""
+    level = max(1, math.ceil(math.log2(n + 1)))
+    return 2 * level, 2 * level + 4
+
+
+@pytest.mark.parametrize("make", [
+    lambda: path_graph(50),
+    lambda: grid_graph(8, 8),
+    lambda: union_of_random_forests(120, 3, seed=2),
+    lambda: complete_graph(12),
+    lambda: erdos_renyi(60, 0.08, seed=9),
+])
+def test_nd_simultaneous_validates(make):
+    from repro.verify import check_network_decomposition
+
+    g = make()
+    max_diameter, max_classes = _simultaneous_caps(g.n)
+    ref = network_decomposition(g, carve_rule="simultaneous", backend="dict")
+    csr = network_decomposition(g, carve_rule="simultaneous", backend="csr")
+    assert csr.classes == ref.classes
+    validate_network_decomposition(g, ref, max_diameter, max_classes)
+    # The independent checker (plain BFS, none of the carve kernels)
+    # proves the same (D, chi) bounds.
+    worst, chi = check_network_decomposition(
+        g, ref.classes, max_diameter=max_diameter, max_classes=max_classes
+    )
+    assert worst <= max_diameter and chi == ref.num_classes
+
+
+def test_nd_simultaneous_complete_graph_single_class():
+    g = complete_graph(12)
+    nd = network_decomposition(g, carve_rule="simultaneous")
+    assert nd.num_classes == 1
+    assert len(nd.classes[0]) == 1
+
+
+def test_nd_simultaneous_isolated_vertices():
+    g = MultiGraph.with_vertices(5)
+    nd = network_decomposition(g, carve_rule="simultaneous")
+    validate_network_decomposition(g, nd, 0, class_cap(5))
+    assert nd.num_classes == 1  # every isolated vertex keeps its own ball
+
+
+def test_nd_simultaneous_empty_graph():
+    nd = network_decomposition(MultiGraph(), carve_rule="simultaneous")
+    assert nd.num_classes == 0
+
+
+def test_nd_rejects_unknown_carve_rule():
+    with pytest.raises(DecompositionError, match="carve_rule"):
+        network_decomposition(path_graph(4), carve_rule="doubing")
+
+
+def test_nd_simultaneous_on_power_graph():
+    g = path_graph(40)
+    g2 = power_graph(g, 2)
+    max_diameter, max_classes = _simultaneous_caps(40)
+    nd = network_decomposition(g2, radius_cost=2, carve_rule="simultaneous")
+    validate_network_decomposition(g2, nd, max_diameter, max_classes)
+
+
+# ----------------------------------------------------------------------
+# Regressions: cut-edge KeyError, convergence-guard off-by-one
+# ----------------------------------------------------------------------
+
+
+def test_cut_edges_missing_head_raises():
+    """A clustering that misses a vertex raises DecompositionError
+    naming it on both backends (used to leak a bare KeyError)."""
+    g = path_graph(5)
+    heads = {v: 0 for v in g.vertices()}
+    del heads[3]
+    for backend in ("dict", "csr"):
+        with pytest.raises(DecompositionError, match="vertex 3"):
+            cut_edges_of_clustering(g, heads, backend=backend)
+
+
+def test_nd_guard_counts_current_class(monkeypatch):
+    """The convergence guard aborts after at most ``guard`` classes —
+    not guard + 1 (the historical ``>`` comparison let one extra class
+    through before raising)."""
+    import importlib
+
+    import numpy as np
+
+    nd_module = importlib.import_module(
+        "repro.decomposition.network_decomposition"
+    )
+    g = path_graph(40)
+    guard = class_cap(40)  # the module's guard uses the same formula
+
+    calls = {"dict": 0, "csr": 0}
+
+    def singleton_ball(graph, center, allowed):
+        calls["dict"] += 1
+        return {center}, set(allowed) - {center}
+
+    monkeypatch.setattr(nd_module, "_grow_doubling_ball", singleton_ball)
+    with pytest.raises(DecompositionError, match="converge"):
+        network_decomposition(g, backend="dict")
+    assert calls["dict"] == guard  # one singleton cluster per class
+
+    def singleton_ball_csr(
+        snapshot, seed_index, unvisited, stamp, token, engine, scratch
+    ):
+        calls["csr"] += 1
+        others = np.flatnonzero(unvisited)
+        return (
+            np.array([seed_index], dtype=np.int64),
+            others[others != seed_index],
+        )
+
+    monkeypatch.setattr(nd_module, "_grow_doubling_ball_csr", singleton_ball_csr)
+    with pytest.raises(DecompositionError, match="converge"):
+        network_decomposition(g, backend="csr")
+    assert calls["csr"] == guard

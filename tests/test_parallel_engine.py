@@ -364,3 +364,140 @@ def test_parallel_backend_registered():
         config=DecompositionConfig(seed=7, backend="parallel", workers=2),
     )
     assert parallel.coloring == reference.coloring
+
+
+# ----------------------------------------------------------------------
+# resolve_claims (the simultaneous carve's reconcile helper)
+# ----------------------------------------------------------------------
+
+
+def test_resolve_claims_min_per_target():
+    from repro.parallel import resolve_claims
+
+    targets = np.array([5, 1, 5, 2, 1, 5], dtype=np.int64)
+    priorities = np.array([7, 3, 2, 9, 4, 11], dtype=np.int64)
+    won_targets, won_priorities = resolve_claims(targets, priorities, 16)
+    assert won_targets.tolist() == [1, 2, 5]
+    assert won_priorities.tolist() == [3, 9, 2]
+    # Input order is irrelevant (shard concatenation order must not
+    # matter).
+    perm = np.array([3, 0, 5, 2, 4, 1])
+    again = resolve_claims(targets[perm], priorities[perm], 16)
+    assert again[0].tolist() == [1, 2, 5]
+    assert again[1].tolist() == [3, 9, 2]
+
+
+def test_resolve_claims_empty():
+    from repro.parallel import resolve_claims
+
+    empty = np.empty(0, dtype=np.int64)
+    won_targets, won_priorities = resolve_claims(empty, empty, 10)
+    assert won_targets.size == 0 and won_priorities.size == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_resolve_claims_packed_matches_lexsort(seed):
+    """The packed-key fast path and the lexsort fallback (forced by an
+    overflowing limit) agree on random claim sets."""
+    from repro.parallel import resolve_claims
+
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(1, 200))
+    limit = int(rng.integers(2, 50))
+    targets = rng.integers(0, 40, size=size).astype(np.int64)
+    priorities = rng.integers(0, limit, size=size).astype(np.int64)
+    packed = resolve_claims(targets, priorities, limit)
+    fallback = resolve_claims(targets, priorities, 1 << 62)
+    assert packed[0].tolist() == fallback[0].tolist()
+    assert packed[1].tolist() == fallback[1].tolist()
+    # Reference: python min per target.
+    best = {}
+    for t, p in zip(targets.tolist(), priorities.tolist()):
+        best[t] = min(best.get(t, p), p)
+    assert dict(zip(packed[0].tolist(), packed[1].tolist())) == best
+
+
+# ----------------------------------------------------------------------
+# Simultaneous carve: engine path == serial path, every fan-out shape
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(0, 60, 7))
+def test_simultaneous_carve_engine_matches_serial(seed):
+    from repro.decomposition.network_decomposition import (
+        _decompose_simultaneous_csr,
+    )
+
+    graph = random_multigraph(seed)
+    snap = snapshot_of(graph)
+    n = snap.num_vertices
+    serial = _decompose_simultaneous_csr(snap, n, None)
+    for workers in WORKER_COUNTS:
+        for num_shards in SHARD_COUNTS:
+            engine = _eager_engine(plan_of(snap, num_shards), workers)
+            assert _decompose_simultaneous_csr(snap, n, engine) == serial
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle regressions
+# ----------------------------------------------------------------------
+
+
+def test_pool_stats_independent_of_executor_internals():
+    """pool_stats derives worker totals from the registry keys, so an
+    executor implementation change (it used to read the private
+    ``_max_workers`` attribute) cannot break it."""
+    shutdown()
+    plan = ShardPlan(np.array([0, 4, 8], dtype=np.int64))
+    engine = _eager_engine(plan, 3)
+    engine.gather(lambda part: part * 3, np.arange(8, dtype=np.int64), cost=8)
+    pool = engine_module._POOLS[3]
+    saved = pool.__dict__.pop("_max_workers")
+    try:
+        stats = pool_stats()
+        assert stats["pools"] == 1
+        assert stats["workers"] == 3
+    finally:
+        pool.__dict__["_max_workers"] = saved
+        shutdown()
+
+
+def test_engine_falls_back_inline_when_pool_shut_down():
+    """shutdown() racing a wave (atexit, test teardown, an embedding
+    application) must not crash the wave: a dead executor means the
+    wave runs inline with identical results, and the dead pool is
+    evicted so the next wave gets a fresh one."""
+    shutdown()
+    plan = ShardPlan(np.array([0, 4, 8], dtype=np.int64))
+    engine = _eager_engine(plan, 2)
+    work = np.arange(8, dtype=np.int64)
+
+    def dead_pool():
+        # Prime the registry, then shut the executor down *without*
+        # removing it — exactly the state the race leaves behind.
+        pool = engine_module._pool_for(2)
+        pool.shutdown(wait=True)
+        return pool
+
+    dead = dead_pool()
+    result = engine.gather(lambda part: part * 2, work, cost=8)
+    assert result.tolist() == (work * 2).tolist()
+    assert engine_module._POOLS.get(2) is not dead
+
+    dead = dead_pool()
+    scanned = engine.scan_shards(
+        lambda lo, hi: np.arange(lo, hi, dtype=np.int64)
+    )
+    assert scanned.tolist() == list(range(8))
+    assert engine_module._POOLS.get(2) is not dead
+
+    dead = dead_pool()
+    ranges = engine.map_ranges(lambda lo, hi: hi - lo, 8, cost=8)
+    assert sum(ranges) == 8
+    assert engine_module._POOLS.get(2) is not dead
+
+    # A live pool is back in service afterwards.
+    before = pool_stats()["dispatches"]
+    engine.gather(lambda part: part + 1, work, cost=8)
+    assert pool_stats()["dispatches"] == before + 1
+    shutdown()
