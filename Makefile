@@ -24,8 +24,10 @@ lint:
 # engine-backed parallel BFS paths (>= 1.5x on dense-frontier
 # workloads at n >= 50k, outputs bit-identical per worker count), and
 # the simultaneous carve rule vs the doubling csr carve (>= 1.5x
-# best-over-workers at n >= 50k, classes bit-identical everywhere);
-# writes benchmarks/results/BENCH_*.json (incl. BENCH_carve).
+# best-over-workers at n >= 50k, classes bit-identical everywhere),
+# and the concurrent pass schedule vs the serial depth_cut sweep
+# (>= 1.3x best-over-workers at n >= 50k, cuts bit-identical);
+# writes benchmarks/results/BENCH_*.json (incl. BENCH_passes).
 bench-kernel:
 	python benchmarks/bench_kernel.py
 

@@ -1,6 +1,6 @@
 """Flat-array kernel vs. dict-backed graph on the decomposition hot paths.
 
-Four sections, one per substrate milestone:
+Seven sections, one per substrate milestone:
 
 * ``bench_kernel`` — the PR-1 peeling paths: ``h_partition`` (threshold
   peeling) and ``degeneracy_ordering`` (delete-min peeling).
@@ -29,6 +29,16 @@ Four sections, one per substrate milestone:
   count; sparse-frontier BFS and the sequential ball carving are
   reported unasserted (~1x single-core by design, thread fan-out adds
   on multi-core).
+* ``bench_passes`` — the pass scheduler's concurrent color-class
+  batching (``schedule="concurrent"``) vs. the serial per-class sweep
+  on ``depth_cut`` at n >= 50k, workers in {1, 2, 4}.  The serial
+  schedule roots each color forest with its own union-find + BFS; the
+  concurrent schedule stacks every array-eligible class into one
+  ``rooted_forest_class_depths`` call (single-CPU win: the speedup is
+  algorithmic batching, not thread fan-out).  Asserts best-over-workers
+  >= 1.3x with kept/deleted/deletion_tail asserted bit-identical to
+  the serial reference for every worker count — the pipeline
+  determinism contract.
 * ``bench_carve`` — the simultaneous carve rule
   (``carve_rule="simultaneous"``) vs. the doubling rule's sequential
   ball-at-a-time carve at n >= 50k.  The doubling rule grows one ball
@@ -48,15 +58,17 @@ Run directly:  PYTHONPATH=src python benchmarks/bench_kernel.py
 Snapshot mode: BENCH_SNAPSHOT=1 PYTHONPATH=src python benchmarks/bench_kernel.py
 """
 
+import random
 import time
 
-from repro.core import DecompositionConfig, Session
+from repro.core import DecompositionConfig, Session, depth_cut
 from repro.decomposition.degeneracy import degeneracy_ordering
 from repro.decomposition.hpartition import h_partition
 from repro.decomposition.network_decomposition import (
     network_decomposition,
     partial_network_decomposition,
 )
+from repro.graph import MultiGraph
 from repro.graph.csr import snapshot_of
 from repro.graph.generators import (
     erdos_renyi,
@@ -889,6 +901,159 @@ def run_carve_comparison():
     return rows
 
 
+# ----------------------------------------------------------------------
+# Concurrent pass schedule vs serial per-class sweep (PR-7)
+# ----------------------------------------------------------------------
+
+PASSES_REPEATS = 3
+PASSES_SPEEDUP_FLOOR = 1.3
+PASSES_WORKER_COUNTS = (1, 2, 4)
+PASSES_Z = 37
+PASSES_SEED = 5
+
+
+def forest_coloring_graph(n, k, seed):
+    """``k`` overlaid random forests on ``n`` vertices, each a color
+    class — the shape ``depth_cut`` sees from the forest pipelines."""
+    rng = random.Random(seed)
+    graph = MultiGraph.with_vertices(n)
+    coloring = {}
+    for cls in range(k):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        for i in range(1, n):
+            if rng.random() < 0.9:
+                parent = perm[rng.randrange(i)]
+                eid = graph.add_edge(perm[i], parent)
+                coloring[eid] = cls
+    return graph, coloring
+
+
+# Many mid-sized classes are the serial schedule's worst case: each
+# class pays its own union-find rooting + per-class BFS, while the
+# concurrent schedule stacks them all into one array pass.
+PASSES_WORKLOADS = [
+    (
+        "forest-classes n=60k k=8",
+        True,
+        lambda: forest_coloring_graph(60_000, 8, seed=1),
+    ),
+    (
+        "forest-classes n=50k k=12",
+        True,
+        lambda: forest_coloring_graph(50_000, 12, seed=2),
+    ),
+]
+
+
+def run_passes_comparison():
+    rows = []
+    json_rows = []
+    asserted = []
+    for name, assertable, make in PASSES_WORKLOADS:
+        graph, coloring = make()
+
+        def serial():
+            return depth_cut(
+                graph,
+                coloring,
+                PASSES_Z,
+                seed=PASSES_SEED,
+                backend="csr",
+                schedule="serial",
+            )
+
+        def concurrent(workers):
+            return depth_cut(
+                graph,
+                coloring,
+                PASSES_Z,
+                seed=PASSES_SEED,
+                backend="parallel",
+                workers=workers,
+                schedule="concurrent",
+            )
+
+        reference = serial()
+        serial_ms = _best(serial, PASSES_REPEATS) * 1e3
+        best_speedup = 0.0
+        for workers in PASSES_WORKER_COUNTS:
+            # Bit-identical cuts for every worker count — the pipeline
+            # determinism contract (serial is the reference schedule).
+            result = concurrent(workers)
+            assert result.kept == reference.kept
+            assert result.deleted == reference.deleted
+            assert result.deletion_tail == reference.deletion_tail
+            conc_ms = _best(lambda: concurrent(workers), PASSES_REPEATS) * 1e3
+            speedup = serial_ms / conc_ms
+            best_speedup = max(best_speedup, speedup)
+            rows.append(
+                (
+                    name,
+                    graph.n,
+                    graph.m,
+                    workers,
+                    f"{serial_ms:.1f}",
+                    f"{conc_ms:.1f}",
+                    f"{speedup:.2f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": name,
+                    "n": graph.n,
+                    "m": graph.m,
+                    "workers": workers,
+                    "serial_ms": round(serial_ms, 3),
+                    "concurrent_ms": round(conc_ms, 3),
+                    "speedup": round(speedup, 3),
+                }
+            )
+        if assertable:
+            asserted.append((name, best_speedup))
+
+    emit(
+        "passes",
+        format_table(
+            "Concurrent pass schedule vs serial depth_cut sweep (n >= 50k)",
+            [
+                "workload",
+                "n",
+                "m",
+                "workers",
+                "serial ms",
+                "concurrent ms",
+                "speedup",
+            ],
+            rows,
+        ),
+    )
+    emit_json(
+        "BENCH_passes",
+        {
+            "bench": "passes",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": PASSES_SPEEDUP_FLOOR,
+            "worker_counts": list(PASSES_WORKER_COUNTS),
+            "rows": json_rows,
+            "asserted": [
+                {"workload": name, "best_speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
+
+    if not SNAPSHOT_MODE:
+        for name, best in asserted:
+            assert best >= PASSES_SPEEDUP_FLOOR, (
+                f"{name}: best concurrent-schedule speedup {best:.2f}x < "
+                f"{PASSES_SPEEDUP_FLOOR}x at n >= 50k — the concurrent "
+                "schedule's reason to exist"
+            )
+    return rows
+
+
 def bench_kernel(benchmark=None):
     if benchmark is None:
         run_kernel_comparison()
@@ -943,6 +1108,15 @@ def bench_carve(benchmark=None):
         once(benchmark, run_carve_comparison)
 
 
+def bench_passes(benchmark=None):
+    if benchmark is None:
+        run_passes_comparison()
+    else:
+        from harness import once
+
+        once(benchmark, run_passes_comparison)
+
+
 if __name__ == "__main__":
     bench_kernel()
     bench_traversal()
@@ -950,3 +1124,4 @@ if __name__ == "__main__":
     bench_shard()
     bench_parallel_bfs()
     bench_carve()
+    bench_passes()

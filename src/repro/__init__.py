@@ -79,6 +79,7 @@ __version__ = "1.1.0"
 # ``dir(repro)`` and tab completion honest.
 _API_EXPORTS = (
     "decompose",
+    "describe",
     "Session",
     "DecompositionConfig",
     "DecompositionResult",
@@ -100,7 +101,15 @@ _API_EXPORTS = (
     "two_coloring_star_forests",
 )
 
-_SUBMODULES = ("core", "decomposition", "nashwilliams", "local", "verify", "graph")
+_SUBMODULES = (
+    "core",
+    "decomposition",
+    "nashwilliams",
+    "local",
+    "pipeline",
+    "verify",
+    "graph",
+)
 
 __all__ = [
     "MultiGraph",

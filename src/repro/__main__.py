@@ -9,6 +9,8 @@ Usage examples::
     python -m repro decompose graph.txt --task forest --json
     python -m repro decompose graph.txt --task list_forest \\
         --palettes palettes.txt --epsilon 1.0
+    python -m repro decompose graph.txt --schedule concurrent --profile
+    python -m repro describe list_forest
     python -m repro generate forest-union --n 100 --alpha 4 --out graph.txt
 
 Graphs are plain edge lists (see :mod:`repro.graph.io`).  Every
@@ -173,6 +175,27 @@ _REPORT_KIND = {
 }
 
 
+def _print_pass_profile(result) -> None:
+    """--profile: the executed per-pass records as a fixed-width table."""
+    passes = getattr(getattr(result, "stats", None), "passes", None)
+    if not passes:
+        print("(no per-pass records on this result)")
+        return
+    header = (
+        f"{'pass':<18} {'sched':<10} {'wall_ms':>9} {'rounds':>7} "
+        f"{'waves':>6} {'items':>7} {'reconcile':>9} {'touched':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for record in passes:
+        print(
+            f"{record.name:<18} {record.schedule:<10} "
+            f"{record.wall_ms:>9.2f} {record.rounds:>7} "
+            f"{record.engine_waves:>6} {record.items:>7} "
+            f"{record.reconcile_volume:>9} {record.vertices_touched:>8}"
+        )
+
+
 def _cmd_decompose(args: argparse.Namespace) -> int:
     """The unified entry point: any registered task, one config."""
     from .core import decompose, DecompositionConfig
@@ -188,6 +211,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         cut_rule=args.cut_rule,
         carve_rule=args.carve_rule,
         validation=args.validation,
+        schedule=args.schedule,
     )
     from .core.registry import get_task
     from .errors import RegistryError
@@ -216,6 +240,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         print(f"colors used: {result.num_colors()}")
         if result.rounds is not None:
             print(f"charged LOCAL rounds: {result.rounds.total}")
+    if args.profile:
+        _print_pass_profile(result)
     if args.report:
         kind = _REPORT_KIND.get(args.task)
         if kind is not None:
@@ -225,6 +251,18 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         else:
             print("(no summary report for this task; see --json)")
     _emit_result(result, args, "result")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .core.api import describe
+    from .errors import RegistryError
+
+    try:
+        print(describe(args.task))
+    except RegistryError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -312,7 +350,26 @@ def main(argv=None) -> int:
                        choices=("doubling", "simultaneous"))
     p_dec.add_argument("--validation", default="basic",
                        choices=("none", "basic", "full"))
+    p_dec.add_argument("--schedule", default="auto",
+                       choices=("auto", "serial", "concurrent"),
+                       help="pass-DAG execution mode (outputs are "
+                       "identical; auto gates on graph size / "
+                       "REPRO_FORCE_PARALLEL)")
+    p_dec.add_argument("--profile", action="store_true",
+                       help="print the executed per-pass records "
+                       "(wall time, rounds, engine waves, reconcile "
+                       "volume) after the run")
     p_dec.set_defaults(func=_cmd_decompose)
+
+    p_desc = sub.add_parser(
+        "describe",
+        help="print a task's declared pass DAG (no execution)",
+    )
+    p_desc.add_argument(
+        "task",
+        help="a registered task name; built-ins: " + "|".join(BUILTIN_TASKS),
+    )
+    p_desc.set_defaults(func=_cmd_describe)
 
     p_gen = sub.add_parser("generate", help="generate a workload graph")
     p_gen.add_argument(

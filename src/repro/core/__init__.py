@@ -3,7 +3,8 @@ unified decomposition API (config / result protocol / registry /
 session)."""
 
 from . import api
-from .algorithm_stats import ListForestStats, StarForestStats
+from .api import describe
+from .algorithm_stats import ListForestStats, StarForestStats, TaskStats
 from .config import DecompositionConfig
 from .registry import (
     BackendSpec,
@@ -51,7 +52,9 @@ from .forest_decomposition import (
 from .list_forest import ListForestDecompositionResult, list_forest_decomposition
 from .orientation import (
     low_outdegree_orientation,
+    orientation_decomposition,
     orientation_from_forest_decomposition,
+    pseudoforest_decomposition_result,
 )
 from .partial_coloring import PartialListForestDecomposition
 from .star_forest import (
@@ -106,7 +109,11 @@ __all__ = [
     "list_star_forest_decomposition_amr",
     "two_coloring_star_forests",
     "low_outdegree_orientation",
+    "orientation_decomposition",
     "orientation_from_forest_decomposition",
+    "pseudoforest_decomposition_result",
+    "describe",
+    "TaskStats",
     "ListForestStats",
     "StarForestStats",
 ]

@@ -2,14 +2,22 @@
 
 These wrappers are what downstream users should call; each maps to one
 headline result of the paper.  Since the unified-API redesign they are
-thin shims over the task registry: every call builds a
-:class:`~repro.core.config.DecompositionConfig` and dispatches through
-:func:`repro.decompose`, so the wrappers, the
-:class:`~repro.core.session.Session` workflow, and the CLI all share
-one code path (and one ``backend=`` seam).  Return shapes are
-unchanged — result objects where they always were, ``(coloring,
-bound)`` tuples where they always were — so existing code and the
-golden regressions are untouched.
+thin shims over the task registry, and since the pass-pipeline
+redesign the dispatch plumbing is *config-first*: every wrapper
+accepts ``config=`` directly, and its legacy keyword signature is
+funneled through one shim (:func:`_config_from_kwargs`) into a
+:class:`~repro.core.config.DecompositionConfig` before dispatching
+through :func:`repro.decompose`.  The wrappers, the
+:class:`~repro.core.session.Session` workflow, and the CLI therefore
+share one code path (and one ``backend=`` / ``schedule=`` seam).
+Return shapes are unchanged — result objects where they always were,
+``(coloring, bound)`` tuples where they always were — so existing code
+and the golden regressions are untouched.  The per-knob keyword
+spellings remain supported indefinitely, but new code should prefer
+passing ``config=`` (see the deprecation note in ``docs/api.md``).
+
+:func:`describe` prints a task's declared pass DAG — names,
+dependencies, and paper citations — without running anything.
 
 For repeated queries against one graph prefer::
 
@@ -47,6 +55,7 @@ from .orientation import Orientation
 from .registry import (
     available_backends,
     available_tasks,
+    get_task,
     register_backend,
     register_task,
 )
@@ -61,6 +70,7 @@ from .star_forest import StarForestResult, two_coloring_star_forests
 __all__ = [
     # unified surface
     "decompose",
+    "describe",
     "Session",
     "DecompositionConfig",
     "DecompositionResult",
@@ -91,6 +101,43 @@ __all__ = [
 ]
 
 
+def _config_from_kwargs(
+    config: Optional[DecompositionConfig] = None,
+    **kwargs,
+) -> DecompositionConfig:
+    """The dispatch shim behind every legacy wrapper signature.
+
+    ``config=`` wins when given (the config-first path — per-knob
+    keywords are then ignored); otherwise the legacy keywords build a
+    :class:`~repro.core.config.DecompositionConfig`.  Keeping the
+    funnel in one place means the wrappers stay signature-compatible
+    while the actual dispatch is uniformly config-shaped.
+    """
+    if config is not None:
+        return config
+    return DecompositionConfig(**kwargs)
+
+
+def describe(task: str) -> str:
+    """The declared pass DAG of a registered task, as text.
+
+    Lists the passes in canonical (serial) topological order with
+    their dependencies, descriptions and paper citations, plus any
+    Las Vegas retry rule — without running anything.  Also available
+    as ``python -m repro describe <task>``.
+    """
+    spec = get_task(task)
+    lines = [f"task: {spec.name}"]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    if spec.citation:
+        lines.append(f"  [{spec.citation}]")
+    if spec.pipeline is None:
+        lines.append("  (opaque runner: no declared pass pipeline)")
+        return "\n".join(lines)
+    return "\n".join(lines) + "\n" + spec.pipeline.describe()
+
+
 def forest_decomposition(
     graph: MultiGraph,
     epsilon: float = 0.5,
@@ -102,6 +149,8 @@ def forest_decomposition(
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
     workers: int = 0,
+    schedule: str = "auto",
+    config: Optional[DecompositionConfig] = None,
 ) -> ForestDecompositionResult:
     """(1+ε)α forest decomposition of a multigraph (Theorem 4.6).
 
@@ -136,11 +185,15 @@ def forest_decomposition(
     every edge id to a forest index, with ``colors_used`` and charged
     LOCAL ``rounds``; the result implements the uniform protocol
     (``forests()``, ``coloring_array()``, ``validate()``, ``to_json()``).
+    ``schedule`` picks the pass-DAG execution mode (``"auto"`` /
+    ``"serial"`` / ``"concurrent"``; outputs identical either way); or
+    pass ``config=`` to skip the per-knob keywords entirely.
     """
-    config = DecompositionConfig(
+    config = _config_from_kwargs(
+        config,
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
         workers=workers, diameter_mode=diameter_mode, cut_rule=cut_rule,
-        carve_rule=carve_rule,
+        carve_rule=carve_rule, schedule=schedule,
     )
     return decompose(graph, task="forest", config=config, rounds=rounds)
 
@@ -159,6 +212,8 @@ def list_forest_decomposition(
     search_radius: Optional[int] = None,
     backend: str = "auto",
     workers: int = 0,
+    schedule: str = "auto",
+    config: Optional[DecompositionConfig] = None,
 ) -> ListForestDecompositionResult:
     """(1+ε)α list-forest decomposition of a multigraph (Theorem 4.10).
 
@@ -166,9 +221,10 @@ def list_forest_decomposition(
     ``splitting`` chooses the Theorem 4.9 variant (``"cluster"`` or
     ``"independent"``).
     """
-    config = DecompositionConfig(
+    config = _config_from_kwargs(
+        config,
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
-        workers=workers, cut_rule=cut_rule,
+        workers=workers, cut_rule=cut_rule, schedule=schedule,
     )
     return decompose(
         graph, task="list_forest", config=config, rounds=rounds,
@@ -186,12 +242,15 @@ def star_forest_decomposition(
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
     workers: int = 0,
+    schedule: str = "auto",
+    config: Optional[DecompositionConfig] = None,
 ) -> StarForestResult:
     """(1+O(ε))α star-forest decomposition of a simple graph
     (Theorem 5.4(1); regime α ≥ Ω(√log Δ + log α))."""
-    config = DecompositionConfig(
+    config = _config_from_kwargs(
+        config,
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
-        workers=workers,
+        workers=workers, schedule=schedule,
     )
     return decompose(graph, task="star_forest", config=config, rounds=rounds)
 
@@ -206,15 +265,18 @@ def list_star_forest_decomposition(
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
     workers: int = 0,
+    schedule: str = "auto",
+    config: Optional[DecompositionConfig] = None,
 ) -> StarForestResult:
     """List star-forest decomposition of a simple graph.
 
     ``method="amr"`` is Theorem 5.4(2) ((1+O(ε))α colors, regime
     α ≥ Ω(log Δ), palettes ≥ α(1+200ε)); ``method="hpartition"`` is the
     Theorem 2.3 fallback ((4+ε)α* colors, any α)."""
-    config = DecompositionConfig(
+    config = _config_from_kwargs(
+        config,
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
-        workers=workers,
+        workers=workers, schedule=schedule,
     )
     return decompose(
         graph, task="list_star_forest", config=config, rounds=rounds,
@@ -231,15 +293,18 @@ def pseudoforest_decomposition(
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
     workers: int = 0,
+    schedule: str = "auto",
+    config: Optional[DecompositionConfig] = None,
 ) -> Tuple[Dict[int, int], int]:
     """(1+ε)α pseudoforest decomposition (the Corollary 1.1 companion).
 
     A k-orientation is exactly a k-pseudoforest decomposition: rank each
     vertex's out-edges and each rank class is a functional graph.
     Returns (coloring, number of pseudoforests)."""
-    config = DecompositionConfig(
+    config = _config_from_kwargs(
+        config,
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
-        workers=workers,
+        workers=workers, schedule=schedule,
     )
     result = decompose(
         graph, task="pseudoforest", config=config, rounds=rounds,
@@ -257,14 +322,17 @@ def low_outdegree_orientation(
     rounds: Optional[RoundCounter] = None,
     backend: str = "auto",
     workers: int = 0,
+    schedule: str = "auto",
+    config: Optional[DecompositionConfig] = None,
 ) -> Tuple[Orientation, int]:
     """A (1+ε)α-orientation (Corollary 1.1); returns (orientation,
     out-degree bound).  ``method`` is ``"augmentation"`` (the paper),
     ``"hpartition"`` (the (2+ε)α* baseline) or ``"exact"`` (flow
     witness ground truth)."""
-    config = DecompositionConfig(
+    config = _config_from_kwargs(
+        config,
         epsilon=epsilon, alpha=alpha, seed=seed, backend=backend,
-        workers=workers,
+        workers=workers, schedule=schedule,
     )
     result = decompose(
         graph, task="orientation", config=config, rounds=rounds,

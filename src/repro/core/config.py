@@ -43,6 +43,14 @@ Semantics of the shared fields:
 * ``validation`` — ``"none"`` (default), ``"basic"`` (structural
   checks via :mod:`repro.verify` after the run), or ``"full"``
   (structure + palette membership where applicable).
+* ``schedule`` — how the task's declared pass pipeline executes:
+  ``"serial"`` (topological order, the bit-identical reference),
+  ``"concurrent"`` (independent passes and per-color-class fan-outs
+  overlap on the wave engine's pools / batched kernels), or
+  ``"auto"`` (default; concurrent at ``n >= 50k`` or under
+  ``REPRO_FORCE_PARALLEL=1``, matching the backend auto-gating).
+  Outputs are bit-identical across schedules — purely a throughput
+  knob, like ``workers``.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ from ..rng import SeedLike
 
 VALIDATION_LEVELS = ("none", "basic", "full")
 CARVE_RULES = ("doubling", "simultaneous")
+SCHEDULE_MODES = ("auto", "serial", "concurrent")
 
 
 @dataclass(frozen=True)
@@ -72,6 +81,7 @@ class DecompositionConfig:
     cut_rule: str = "depth_residue"
     carve_rule: str = "doubling"
     validation: str = "none"
+    schedule: str = "auto"
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -93,6 +103,11 @@ class DecompositionConfig:
             raise ValidationError(
                 f"unknown carve_rule {self.carve_rule!r}; "
                 f"expected one of {CARVE_RULES}"
+            )
+        if self.schedule not in SCHEDULE_MODES:
+            raise ValidationError(
+                f"unknown schedule {self.schedule!r}; "
+                f"expected one of {SCHEDULE_MODES}"
             )
         if self.epsilon is not None and self.epsilon <= 0:
             raise ValidationError(

@@ -46,7 +46,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..errors import DecompositionError
-from ..graph.csr import resolve_backend, rooted_forest_arrays, snapshot_of
+from ..graph.csr import (
+    resolve_backend,
+    rooted_forest_arrays,
+    rooted_forest_class_depths,
+    snapshot_of,
+)
 from ..graph.forests import RootedForest, color_classes
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
@@ -90,6 +95,7 @@ def depth_cut(
     rounds: Optional[RoundCounter] = None,
     backend: str = "dict",
     workers: int = 0,
+    schedule: str = "serial",
 ) -> DiameterReductionResult:
     """Cut every color forest at a random depth residue mod ``z``.
 
@@ -97,6 +103,13 @@ def depth_cut(
     backend produces the same cuts (see the module docstring); the
     default stays on the dict reference path, the pipelines pass their
     own backend through.
+
+    ``schedule="concurrent"`` (from the pass scheduler) roots *all*
+    array-eligible color classes in one stacked
+    :func:`~repro.graph.csr.rooted_forest_class_depths` call instead of
+    a per-class union-find + BFS — identical roots, depths and cuts,
+    with the per-class residue draws kept in the same sorted-color
+    order (rooting consumes no randomness).
     """
     if z < 1:
         raise DecompositionError(f"z must be >= 1, got {z}")
@@ -106,31 +119,50 @@ def depth_cut(
     engine = None
     if resolved == "parallel":
         engine = engine_for(snapshot_of(graph), workers)
+    classes = sorted(color_classes(coloring).items())
+    batched: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    if schedule == "concurrent" and resolved in ("csr", "parallel"):
+        snap = snapshot_of(graph)
+        eligible = [
+            i
+            for i, (_color, eids) in enumerate(classes)
+            if len(eids) >= DEPTH_CUT_ARRAYS_MIN_EDGES
+        ]
+        if eligible:
+            per_class, _waves = rooted_forest_class_depths(
+                snap,
+                [snap.edge_positions(classes[i][1]) for i in eligible],
+            )
+            batched = dict(zip(eligible, per_class))
     kept: Coloring = {}
     deleted: List[int] = []
     deletion_tail: Dict[int, int] = {}
-    for color, eids in sorted(color_classes(coloring).items()):
+    for index, (color, eids) in enumerate(classes):
         use_arrays = (
             resolved in ("csr", "parallel")
             and len(eids) >= DEPTH_CUT_ARRAYS_MIN_EDGES
         )
         if use_arrays:
-            snap = snapshot_of(graph)
-            arrays = rooted_forest_arrays(snap, eids, engine=engine)
-            residue = rng.randrange(z)
-            positions = snap.edge_positions(eids)
-            du = arrays.depth[snap.edge_u[positions]]
-            dv = arrays.depth[snap.edge_v[positions]]
+            if index in batched:
+                du, dv, child_ids = batched[index]
+                residue = rng.randrange(z)
+            else:
+                snap = snapshot_of(graph)
+                arrays = rooted_forest_arrays(snap, eids, engine=engine)
+                residue = rng.randrange(z)
+                positions = snap.edge_positions(eids)
+                du = arrays.depth[snap.edge_u[positions]]
+                dv = arrays.depth[snap.edge_v[positions]]
+                child_ids = np.where(
+                    du > dv,
+                    snap.edge_u_ids[positions],
+                    snap.edge_v_ids[positions],
+                )
             # The child endpoint of a forest edge is the deeper one
             # (depths differ by exactly 1); cutting the parent edges of
             # vertices at depth ≡ residue (mod z) is cutting the edges
             # whose child depth hits the residue.
             is_cut = (np.maximum(du, dv) % z) == (residue % z)
-            child_ids = np.where(
-                du > dv,
-                snap.edge_u_ids[positions],
-                snap.edge_v_ids[positions],
-            )
             for eid, cut, child in zip(
                 eids, is_cut.tolist(), child_ids.tolist()
             ):
@@ -224,6 +256,7 @@ def reduce_diameter(
     rounds: Optional[RoundCounter] = None,
     backend: str = "dict",
     workers: int = 0,
+    schedule: str = "serial",
 ) -> DiameterReductionResult:
     """Corollary 2.5 front-end: pick ``z`` by regime.
 
@@ -247,5 +280,5 @@ def reduce_diameter(
         raise DecompositionError(f"unknown diameter-reduction mode {mode!r}")
     return depth_cut(
         graph, coloring, z, seed=seed, rounds=rounds,
-        backend=backend, workers=workers,
+        backend=backend, workers=workers, schedule=schedule,
     )

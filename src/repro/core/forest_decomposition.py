@@ -24,6 +24,7 @@ decomposition, and benches report the violation rate per regime.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import AugmentationError, DecompositionError
@@ -41,6 +42,8 @@ from ..decomposition.hpartition import (
     star_forest_decomposition_via_hpartition,
 )
 from ..decomposition.network_decomposition import network_decomposition
+from ..pipeline import Pass, Pipeline, PipelineContext, Scheduler, resolve_schedule
+from .algorithm_stats import TaskStats
 from .augmenting import AugmentationStats, augment_edge
 from .cut import CutController, is_cut_good
 from .diameter_reduction import reduce_diameter
@@ -68,21 +71,22 @@ def _split_backend(backend: str) -> Tuple[str, str]:
     return "csr", "csr"
 
 
-class Algorithm2Stats:
-    """Diagnostics for benches and tests."""
+@dataclass
+class Algorithm2Stats(TaskStats):
+    """Diagnostics for benches and tests (typed; explicit
+    ``to_json()`` via :class:`~repro.core.algorithm_stats.TaskStats`)."""
 
-    def __init__(self) -> None:
-        self.clusters_processed = 0
-        self.edges_augmented = 0
-        self.locality_violations = 0
-        self.cut_removed = 0
-        self.cut_fallback_removed = 0
-        self.max_cut_load = 0
-        self.good_cuts = 0
-        self.bad_cuts = 0
-        self.max_sequence_length = 0
-        self.radius = 0
-        self.search_radius = 0
+    clusters_processed: int = 0
+    edges_augmented: int = 0
+    locality_violations: int = 0
+    cut_removed: int = 0
+    cut_fallback_removed: int = 0
+    max_cut_load: int = 0
+    good_cuts: int = 0
+    bad_cuts: int = 0
+    max_sequence_length: int = 0
+    radius: int = 0
+    search_radius: int = 0
 
 
 class Algorithm2Result:
@@ -346,6 +350,171 @@ class ForestDecompositionResult(DecompositionResult):
         return max(1, math.ceil((1.0 + self.epsilon) * self.alpha))
 
 
+def _forest_setup(ctx: PipelineContext) -> None:
+    graph = ctx["graph"]
+    alpha = ctx["alpha"]
+    if alpha is None:
+        alpha = exact_arboricity(graph)
+        ctx["alpha"] = alpha
+    ctx["empty"] = alpha == 0
+    if ctx["empty"]:
+        return
+    eps_prime = ctx["epsilon"] / 6.0
+    base_colors = max(1, math.ceil((1.0 + eps_prime) * alpha))
+    ctx["eps_prime"] = eps_prime
+    ctx["base_colors"] = base_colors
+    ctx["palettes"] = {eid: range(base_colors) for eid in graph.edge_ids()}
+    ctx.note(vertices_touched=graph.n)
+
+
+def _forest_algorithm2(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    counter = ctx.counter
+    with counter.phase("algorithm2"):
+        result = algorithm2(
+            ctx["graph"],
+            ctx["palettes"],
+            ctx["eps_prime"],
+            ctx["alpha"],
+            cut_rule=ctx["cut_rule"],
+            radius=ctx["radius"],
+            search_radius=ctx["search_radius"],
+            seed=child_rng(ctx["rng"], "alg2"),
+            rounds=counter,
+            backend=ctx["backend"],
+            workers=ctx["workers"],
+            carve_rule=ctx["carve_rule"],
+        )
+    ctx["alg2"] = result
+    ctx["coloring"] = dict(result.colored)
+    ctx["next_color"] = ctx["base_colors"]
+    ctx["leftover"] = result.leftover
+    ctx.note(reconcile_volume=len(ctx["coloring"]))
+
+
+def _forest_leftover_recolor(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    counter = ctx.counter
+    peel_backend, _substrate = _split_backend(ctx["backend"])
+    with counter.phase("leftover recoloring"):
+        ctx["next_color"] = _recolor_fresh(
+            ctx["graph"], ctx["leftover"], ctx["coloring"],
+            ctx["next_color"], counter,
+            as_star_forests=ctx["diameter_mode"] is not None,
+            backend=peel_backend,
+            workers=ctx["workers"],
+        )
+    ctx.note(reconcile_volume=len(ctx["leftover"]))
+
+
+def _forest_diameter_reduce(ctx: PipelineContext) -> None:
+    if ctx["empty"] or ctx["diameter_mode"] is None:
+        return
+    counter = ctx.counter
+    peel_backend, _substrate = _split_backend(ctx["backend"])
+    with counter.phase("diameter reduction"):
+        reduction = reduce_diameter(
+            ctx["graph"],
+            ctx["coloring"],
+            ctx["epsilon"] / 6.0,
+            ctx["alpha"],
+            mode=ctx["diameter_mode"],
+            seed=child_rng(ctx["rng"], "diam"),
+            rounds=counter,
+            backend=ctx["backend"],
+            workers=ctx["workers"],
+            schedule=ctx.schedule,
+        )
+        ctx["coloring"] = dict(reduction.kept)
+        ctx["next_color"] = _recolor_fresh(
+            ctx["graph"],
+            reduction.deleted,
+            ctx["coloring"],
+            ctx["next_color"],
+            counter,
+            as_star_forests=True,
+            backend=peel_backend,
+            workers=ctx["workers"],
+        )
+    ctx.note(
+        items=len(set(ctx["coloring"].values())),
+        reconcile_volume=len(reduction.deleted),
+    )
+
+
+def _forest_finalize(ctx: PipelineContext) -> None:
+    graph = ctx["graph"]
+    if ctx["empty"]:
+        ctx["result"] = ForestDecompositionResult(
+            graph, {}, 0, ctx["epsilon"], 0, ctx.counter,
+            Algorithm2Stats(), 0,
+        )
+        return
+    coloring = ctx["coloring"]
+    colors_used = len(set(coloring.values()))
+    ctx["result"] = ForestDecompositionResult(
+        graph,
+        coloring,
+        ctx["alpha"],
+        ctx["epsilon"],
+        colors_used,
+        ctx.counter,
+        ctx["alg2"].stats,
+        len(ctx["leftover"]),
+    )
+
+
+#: Theorem 4.6 as a declared pass DAG (a dependency chain: each stage
+#: consumes the previous stage's coloring, so levels are singletons and
+#: the concurrency lives inside the diameter pass's batched rooting).
+FOREST_PIPELINE = Pipeline(
+    "forest",
+    [
+        Pass(
+            "setup", _forest_setup,
+            writes=("alpha", "empty", "eps_prime", "base_colors", "palettes"),
+            description="resolve α (Gabow–Westermann exact) and build "
+                        "the (1+ε/6)α ordinary palettes",
+            citation="Theorem 4.6 budget split",
+        ),
+        Pass(
+            "algorithm2", _forest_algorithm2, deps=("setup",),
+            reads=("graph", "palettes", "eps_prime", "alpha"),
+            writes=("alg2", "coloring", "next_color", "leftover"),
+            description="Algorithm 2: network decomposition schedules "
+                        "cluster balls; CUT + augmenting sequences "
+                        "color E0",
+            citation="Theorem 4.5",
+        ),
+        Pass(
+            "leftover_recolor", _forest_leftover_recolor,
+            deps=("algorithm2",),
+            reads=("leftover",), writes=("coloring", "next_color"),
+            description="recolor the CUT leftover with fresh colors "
+                        "via an H-partition",
+            citation="Theorem 2.1(4)",
+        ),
+        Pass(
+            "diameter_reduce", _forest_diameter_reduce,
+            deps=("leftover_recolor",),
+            reads=("coloring",), writes=("coloring", "next_color"),
+            description="depth-cut every color class at a random "
+                        "residue mod z, recolor deletions as star "
+                        "forests (no-op unless diameter_mode is set)",
+            citation="Corollary 2.5",
+        ),
+        Pass(
+            "finalize", _forest_finalize, deps=("diameter_reduce",),
+            reads=("coloring",), writes=("result",),
+            description="assemble the ForestDecompositionResult",
+        ),
+    ],
+    description="Theorem 4.6: (1+ε)α forest decomposition",
+)
+
+
 def forest_decomposition_algorithm2(
     graph: MultiGraph,
     epsilon: float,
@@ -359,6 +528,7 @@ def forest_decomposition_algorithm2(
     backend: str = "auto",
     workers: int = 0,
     carve_rule: str = "doubling",
+    schedule: str = "auto",
 ) -> ForestDecompositionResult:
     """Theorem 4.6: a (1+ε)α-forest decomposition of a multigraph.
 
@@ -368,85 +538,33 @@ def forest_decomposition_algorithm2(
     ``diameter_mode`` in {"strong", "safe", "auto"} a Corollary 2.5
     pass then bounds forest diameters, recoloring its own deletions as
     star forests (diameter 2).
+
+    Executes :data:`FOREST_PIPELINE` under ``schedule`` (``"auto"`` /
+    ``"serial"`` / ``"concurrent"``); outputs are bit-identical across
+    schedules, and the executed per-pass records land in
+    ``result.stats["passes"]``.
     """
     counter = ensure_counter(rounds)
-    rng = make_rng(seed)
-    if alpha is None:
-        alpha = exact_arboricity(graph)
-    if alpha == 0:
-        return ForestDecompositionResult(
-            graph, {}, 0, epsilon, 0, counter, Algorithm2Stats(), 0
-        )
-
-    eps_prime = epsilon / 6.0
-    base_colors = max(1, math.ceil((1.0 + eps_prime) * alpha))
-    palettes = {eid: range(base_colors) for eid in graph.edge_ids()}
-
-    with counter.phase("algorithm2"):
-        result = algorithm2(
-            graph,
-            palettes,
-            eps_prime,
-            alpha,
-            cut_rule=cut_rule,
-            radius=radius,
-            search_radius=search_radius,
-            seed=child_rng(rng, "alg2"),
-            rounds=counter,
-            backend=backend,
-            workers=workers,
-            carve_rule=carve_rule,
-        )
-
-    coloring: Dict[int, int] = dict(result.colored)
-    next_color = base_colors
-    leftover = result.leftover
-
-    peel_backend, _substrate = _split_backend(backend)
-    with counter.phase("leftover recoloring"):
-        next_color = _recolor_fresh(
-            graph, leftover, coloring, next_color, counter,
-            as_star_forests=diameter_mode is not None,
-            backend=peel_backend,
-            workers=workers,
-        )
-
-    if diameter_mode is not None:
-        with counter.phase("diameter reduction"):
-            reduction = reduce_diameter(
-                graph,
-                coloring,
-                epsilon / 6.0,
-                alpha,
-                mode=diameter_mode,
-                seed=child_rng(rng, "diam"),
-                rounds=counter,
-                backend=backend,
-                workers=workers,
-            )
-            coloring = dict(reduction.kept)
-            next_color = _recolor_fresh(
-                graph,
-                reduction.deleted,
-                coloring,
-                next_color,
-                counter,
-                as_star_forests=True,
-                backend=peel_backend,
-                workers=workers,
-            )
-
-    colors_used = len(set(coloring.values()))
-    return ForestDecompositionResult(
-        graph,
-        coloring,
-        alpha,
-        epsilon,
-        colors_used,
-        counter,
-        result.stats,
-        len(leftover),
+    ctx = PipelineContext(
+        counter=counter,
+        values={
+            "graph": graph,
+            "epsilon": epsilon,
+            "alpha": alpha,
+            "cut_rule": cut_rule,
+            "diameter_mode": diameter_mode,
+            "rng": make_rng(seed),
+            "radius": radius,
+            "search_radius": search_radius,
+            "backend": backend,
+            "workers": workers,
+            "carve_rule": carve_rule,
+        },
     )
+    scheduler = Scheduler(resolve_schedule(graph, schedule), workers)
+    result = scheduler.run(FOREST_PIPELINE, ctx)
+    result.stats.passes = ctx.pass_stats
+    return result
 
 
 def _recolor_fresh(

@@ -1,6 +1,6 @@
 """(1+ε)α list-forest decomposition (Theorem 4.10).
 
-Pipeline:
+Pipeline (declared as :data:`LIST_FOREST_PIPELINE`):
 
 1. **Split** each edge's palette into ``Q0`` (main) and ``Q1``
    (reserve) with a vertex-color-splitting (Theorem 4.9), so that the
@@ -12,18 +12,23 @@ Pipeline:
 4. **Theorem 2.3 LSFD** recolors all leftover edges from their reserve
    palettes ``Q1`` (stars are forests, so this is a valid LFD part).
 5. **Combine** by Proposition 4.8.
+
+A :class:`~repro.pipeline.pipeline.RetryRule` encodes the Las Vegas
+loop: an empty reserve palette (:class:`~repro.errors.
+ReservePaletteError`) restarts from the split pass with the same RNG
+stream, exactly as the historical retry loop did.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import DecompositionError, ReservePaletteError
 from ..graph.multigraph import MultiGraph
 from ..local.rounds import RoundCounter, ensure_counter
 from ..nashwilliams.arboricity import exact_arboricity
 from ..nashwilliams.pseudoarboricity import exact_pseudoarboricity
+from ..pipeline import Pass, Pipeline, PipelineContext, RetryRule, Scheduler, resolve_schedule
 from ..rng import SeedLike, child_rng, make_rng
 from ..decomposition.lsfd import list_star_forest_decomposition
 from .algorithm_stats import ListForestStats
@@ -63,6 +68,177 @@ class ListForestDecompositionResult(DecompositionResult):
         self.graph = graph
 
 
+def _lf_setup(ctx: PipelineContext) -> None:
+    graph = ctx["graph"]
+    ctx["stats"] = ListForestStats()
+    ctx["empty"] = graph.m == 0
+    if ctx["empty"]:
+        return
+    if ctx["alpha"] is None:
+        ctx["alpha"] = exact_arboricity(graph)
+    # The paper splits ε very conservatively (ε/1000) so the reserve
+    # palettes dominate the leftover's pseudo-arboricity; ε/10 keeps the
+    # same inequality direction at practical scales (PaletteError makes
+    # any violation loud rather than silent).
+    ctx["eps_prime"] = ctx["epsilon"] / 10.0
+
+
+def _lf_split(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    counter = ctx.counter
+    with counter.phase("color splitting"):
+        split = _make_splitting(
+            ctx["graph"], ctx["palettes"], ctx["epsilon"],
+            ctx["splitting"], ctx["reserve_probability"], ctx["rng"],
+            counter,
+        )
+    ctx["split"] = split
+    ctx["stats"].k0 = split.k0
+    ctx["stats"].k1 = split.k1
+    ctx.note(vertices_touched=ctx["graph"].n)
+
+
+def _lf_algorithm2(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    counter = ctx.counter
+    with counter.phase("algorithm2"):
+        result = algorithm2(
+            ctx["graph"],
+            ctx["split"].palettes_0,
+            ctx["eps_prime"],
+            ctx["alpha"],
+            cut_rule=ctx["cut_rule"],
+            radius=ctx["radius"],
+            search_radius=ctx["search_radius"],
+            seed=child_rng(ctx["rng"], "alg2"),
+            rounds=counter,
+            backend=ctx["backend"],
+            workers=ctx["workers"],
+        )
+    ctx["coloring_0"] = dict(result.colored)
+    ctx["leftover"] = set(result.leftover)
+    ctx["stats"].algorithm2 = result.stats
+    ctx.note(reconcile_volume=len(ctx["coloring_0"]))
+
+
+def _lf_diameter_reduce(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    counter = ctx.counter
+    with counter.phase("diameter reduction"):
+        reduction = reduce_diameter(
+            ctx["graph"],
+            ctx["coloring_0"],
+            ctx["eps_prime"],
+            ctx["alpha"],
+            mode="auto",
+            seed=child_rng(ctx["rng"], "diam"),
+            rounds=counter,
+            backend=ctx["backend"],
+            workers=ctx["workers"],
+            schedule=ctx.schedule,
+        )
+    ctx["coloring_0"] = dict(reduction.kept)
+    ctx["leftover"].update(reduction.deleted)
+    ctx["stats"].leftover_size = len(ctx["leftover"])
+    ctx.note(
+        items=len(set(ctx["coloring_0"].values())),
+        reconcile_volume=len(reduction.deleted),
+    )
+
+
+def _lf_reserve(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        ctx["coloring_1"] = {}
+        return
+    counter = ctx.counter
+    with counter.phase("reserve LSFD"):
+        ctx["coloring_1"] = _reserve_lsfd(
+            ctx["graph"], sorted(ctx["leftover"]),
+            ctx["split"].palettes_1, counter,
+            backend=ctx["backend"], workers=ctx["workers"],
+        )
+    ctx.note(reconcile_volume=len(ctx["coloring_1"]))
+
+
+def _lf_combine(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        ctx["result"] = ListForestDecompositionResult(
+            {}, ctx.counter, ctx["stats"], graph=ctx["graph"]
+        )
+        return
+    combined = combine_colorings(ctx["coloring_0"], ctx["coloring_1"])
+    ctx["result"] = ListForestDecompositionResult(
+        combined, ctx.counter, ctx["stats"], graph=ctx["graph"]
+    )
+    ctx.note(reconcile_volume=len(combined))
+
+
+def _lf_on_retry(ctx: PipelineContext) -> None:
+    # Theorem 4.9 guarantees nonempty reserve palettes only w.h.p.;
+    # the retry (fresh draws from the same parent stream) converts
+    # that to Las Vegas.  The first attempt consumes the stream
+    # exactly like a retry-free run, so seeds reproduce their
+    # historical outputs.
+    ctx["stats"].reserve_retries += 1
+
+
+#: Theorem 4.10 as a declared pass DAG with a Las Vegas retry edge.
+LIST_FOREST_PIPELINE = Pipeline(
+    "list_forest",
+    [
+        Pass(
+            "setup", _lf_setup,
+            writes=("stats", "empty", "alpha", "eps_prime"),
+            description="resolve α and split the ε budget (ε' = ε/10)",
+        ),
+        Pass(
+            "split", _lf_split, deps=("setup",),
+            reads=("palettes",), writes=("split",),
+            description="vertex-color-splitting of every palette into "
+                        "main Q0 / reserve Q1",
+            citation="Theorem 4.9 / Proposition 4.8",
+        ),
+        Pass(
+            "algorithm2", _lf_algorithm2, deps=("split",),
+            reads=("split", "alpha"),
+            writes=("coloring_0", "leftover"),
+            description="Algorithm 2 on the main palettes colors E0",
+            citation="Theorem 4.5",
+        ),
+        Pass(
+            "diameter_reduce", _lf_diameter_reduce, deps=("algorithm2",),
+            reads=("coloring_0",), writes=("coloring_0", "leftover"),
+            description="depth-cut φ0's deep trees; deletions join the "
+                        "leftover",
+            citation="Proposition 2.4",
+        ),
+        Pass(
+            "reserve", _lf_reserve, deps=("diameter_reduce",),
+            reads=("leftover", "split"), writes=("coloring_1",),
+            description="LSFD recolors the leftover from the reserve "
+                        "palettes",
+            citation="Theorem 2.3",
+        ),
+        Pass(
+            "combine", _lf_combine, deps=("reserve",),
+            reads=("coloring_0", "coloring_1"), writes=("result",),
+            description="overlay the two phases",
+            citation="Proposition 4.8",
+        ),
+    ],
+    description="Theorem 4.10: (1+ε)α list-forest decomposition",
+    retry=RetryRule(
+        exceptions=(ReservePaletteError,),
+        from_pass="split",
+        max_attempts=5,
+        on_retry=_lf_on_retry,
+    ),
+)
+
+
 def list_forest_decomposition(
     graph: MultiGraph,
     palettes: Palettes,
@@ -77,6 +253,7 @@ def list_forest_decomposition(
     search_radius: Optional[int] = None,
     backend: str = "auto",
     workers: int = 0,
+    schedule: str = "auto",
 ) -> ListForestDecompositionResult:
     """Theorem 4.10: (1+ε)α-LFD of a multigraph.
 
@@ -84,83 +261,34 @@ def list_forest_decomposition(
     ``splitting`` chooses the Theorem 4.9 variant: ``"cluster"``
     (α ≥ Ω(log n) regime) or ``"independent"`` (ε²α ≥ Ω(log Δ) regime,
     LLL-based).
+
+    Executes :data:`LIST_FOREST_PIPELINE` under ``schedule``; outputs
+    are bit-identical across schedules, and the executed per-pass
+    records (including any Las Vegas retries) land in
+    ``result.stats["passes"]``.
     """
     counter = ensure_counter(rounds)
-    rng = make_rng(seed)
-    stats = ListForestStats()
-    if graph.m == 0:
-        return ListForestDecompositionResult({}, counter, stats, graph=graph)
-    if alpha is None:
-        alpha = exact_arboricity(graph)
-
-    # The paper splits ε very conservatively (ε/1000) so the reserve
-    # palettes dominate the leftover's pseudo-arboricity; ε/10 keeps the
-    # same inequality direction at practical scales (PaletteError makes
-    # any violation loud rather than silent).
-    eps_prime = epsilon / 10.0
-
-    # Theorem 4.9 guarantees nonempty reserve palettes for the leftover
-    # only w.h.p.; a fresh draw from the parent stream converts that to
-    # Las Vegas.  The first attempt consumes the stream exactly like a
-    # retry-free run, so seeds reproduce their historical outputs.
-    max_attempts = 5
-    for attempt in range(max_attempts):
-        with counter.phase("color splitting"):
-            split = _make_splitting(
-                graph, palettes, epsilon, splitting, reserve_probability, rng, counter
-            )
-        stats.k0 = split.k0
-        stats.k1 = split.k1
-
-        with counter.phase("algorithm2"):
-            result = algorithm2(
-                graph,
-                split.palettes_0,
-                eps_prime,
-                alpha,
-                cut_rule=cut_rule,
-                radius=radius,
-                search_radius=search_radius,
-                seed=child_rng(rng, "alg2"),
-                rounds=counter,
-                backend=backend,
-                workers=workers,
-            )
-        coloring_0 = dict(result.colored)
-        leftover = set(result.leftover)
-        stats.algorithm2 = result.stats
-
-        with counter.phase("diameter reduction"):
-            reduction = reduce_diameter(
-                graph,
-                coloring_0,
-                eps_prime,
-                alpha,
-                mode="auto",
-                seed=child_rng(rng, "diam"),
-                rounds=counter,
-                backend=backend,
-                workers=workers,
-            )
-        coloring_0 = dict(reduction.kept)
-        leftover.update(reduction.deleted)
-        stats.leftover_size = len(leftover)
-
-        try:
-            with counter.phase("reserve LSFD"):
-                coloring_1 = _reserve_lsfd(
-                    graph, sorted(leftover), split.palettes_1, counter,
-                    backend=backend, workers=workers,
-                )
-        except ReservePaletteError:
-            if attempt == max_attempts - 1:
-                raise
-            stats.reserve_retries += 1
-            continue
-        break
-
-    combined = combine_colorings(coloring_0, coloring_1)
-    return ListForestDecompositionResult(combined, counter, stats, graph=graph)
+    ctx = PipelineContext(
+        counter=counter,
+        values={
+            "graph": graph,
+            "palettes": palettes,
+            "epsilon": epsilon,
+            "alpha": alpha,
+            "splitting": splitting,
+            "cut_rule": cut_rule,
+            "reserve_probability": reserve_probability,
+            "rng": make_rng(seed),
+            "radius": radius,
+            "search_radius": search_radius,
+            "backend": backend,
+            "workers": workers,
+        },
+    )
+    scheduler = Scheduler(resolve_schedule(graph, schedule), workers)
+    result = scheduler.run(LIST_FOREST_PIPELINE, ctx)
+    result.stats.passes = ctx.pass_stats
+    return result
 
 
 def _make_splitting(

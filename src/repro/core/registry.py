@@ -56,6 +56,11 @@ class TaskSpec:
     #: "pseudoarboricity") — also documentation of what Session caching
     #: saves on repeated queries
     uses: Tuple[str, ...] = ()
+    #: the declared :class:`~repro.pipeline.pipeline.Pipeline` the
+    #: runner executes (None for opaque third-party runners); this is
+    #: what ``repro.describe(task)`` prints — the runner stays the
+    #: entry point, the pipeline is its declared structure
+    pipeline: Optional[Any] = None
 
 
 @dataclass(frozen=True)

@@ -41,9 +41,17 @@ RESULT_JSON_SCHEMA_VERSION = 1
 
 
 def stats_to_dict(stats: Any) -> Dict[str, Any]:
-    """Best-effort JSON view of a stats object (nested stats recurse)."""
+    """JSON view of a stats object.
+
+    Typed stats (anything exposing ``to_json()`` — the
+    :class:`~repro.core.algorithm_stats.TaskStats` family) use their
+    explicit, documented schema.  The legacy best-effort ``vars()``
+    walk remains as the fallback for external stats objects.
+    """
     if stats is None:
         return {}
+    if hasattr(stats, "to_json"):
+        return stats.to_json()
     if isinstance(stats, dict):
         source = stats
     else:

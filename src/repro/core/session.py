@@ -51,14 +51,19 @@ from ..graph.shard import plan_of
 from ..parallel.engine import engine_for, pool_stats
 from ..local.rounds import RoundCounter, ensure_counter
 from ..nashwilliams.arboricity import exact_arboricity
-from ..nashwilliams.pseudoarboricity import (
-    exact_pseudoarboricity,
-    pseudoforest_decomposition_from_orientation,
-)
+from ..nashwilliams.pseudoarboricity import exact_pseudoarboricity
 from .config import DecompositionConfig
-from .forest_decomposition import forest_decomposition_algorithm2
-from .list_forest import list_forest_decomposition
-from .orientation import low_outdegree_orientation
+from .forest_decomposition import (
+    FOREST_PIPELINE,
+    forest_decomposition_algorithm2,
+)
+from .list_forest import LIST_FOREST_PIPELINE, list_forest_decomposition
+from .orientation import (
+    ORIENTATION_PIPELINE,
+    PSEUDOFOREST_PIPELINE,
+    orientation_decomposition,
+    pseudoforest_decomposition_result,
+)
 from .registry import (
     BackendSpec,
     TaskSpec,
@@ -71,6 +76,8 @@ from .registry import (
 )
 from .results import DecompositionResult, OrientationResult, PseudoforestResult
 from .star_forest import (
+    LIST_STAR_FOREST_PIPELINE,
+    STAR_FOREST_PIPELINE,
     StarForestResult,
     list_star_forest_decomposition_amr,
     star_forest_decomposition_amr,
@@ -105,6 +112,9 @@ class Session:
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
         self._evictions: Dict[str, int] = {}
+        #: per-pass execution totals accumulated across decompose()
+        #: calls: pass name -> {"runs", "wall_ms", "engine_waves"}
+        self._pass_totals: Dict[str, Dict[str, float]] = {}
         #: wall-clock seconds of the graph-prep phase of the most
         #: recent :meth:`prepare` (cache hits make this ~0)
         self.last_prep_seconds: float = 0.0
@@ -236,7 +246,26 @@ class Session:
             for key in sorted(keys)
         }
         info["worker_pools"] = pool_stats()
+        info["passes"] = {
+            name: dict(totals)
+            for name, totals in sorted(self._pass_totals.items())
+        }
         return info
+
+    def _record_passes(self, result: "DecompositionResult") -> None:
+        """Fold a result's per-pass records into the session totals
+        (surfaced by :meth:`cache_info` under ``"passes"``)."""
+        passes = getattr(getattr(result, "stats", None), "passes", None)
+        if not passes:
+            return
+        for record in passes:
+            totals = self._pass_totals.setdefault(
+                record.name,
+                {"runs": 0, "wall_ms": 0.0, "engine_waves": 0},
+            )
+            totals["runs"] += 1
+            totals["wall_ms"] += record.wall_ms
+            totals["engine_waves"] += record.engine_waves
 
     # ------------------------------------------------------------------
     # Config resolution
@@ -252,6 +281,15 @@ class Session:
         """The concrete substrate string for ``config.backend``,
         resolved through the backend registry."""
         return get_backend(config.backend).substrate_for(self.graph)
+
+    def resolve_schedule(self, config: Optional[DecompositionConfig] = None) -> str:
+        """The concrete pass-DAG schedule (``"serial"`` or
+        ``"concurrent"``) that ``config.schedule`` resolves to for this
+        graph — the same gate the pipelines apply internally."""
+        from ..pipeline import resolve_schedule as _resolve
+
+        cfg = config if config is not None else self.config
+        return _resolve(self.graph, cfg.schedule)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -294,6 +332,7 @@ class Session:
         if result.graph is None:
             result.graph = self.graph
         result.config = cfg
+        self._record_passes(result)
         if spec.needs_palettes and result.palettes is None:
             result.palettes = merged.get("palettes")
         if cfg.validation != "none":
@@ -348,6 +387,7 @@ def _run_forest(
         search_radius=search_radius,
         backend=session.substrate(config),
         workers=config.workers,
+        schedule=config.schedule,
     )
 
 
@@ -377,6 +417,7 @@ def _run_list_forest(
         search_radius=search_radius,
         backend=session.substrate(config),
         workers=config.workers,
+        schedule=config.schedule,
     )
 
 
@@ -395,6 +436,7 @@ def _run_star_forest(
         max_lll_rounds=max_lll_rounds,
         backend=session.substrate(config),
         workers=config.workers,
+        schedule=config.schedule,
     )
 
 
@@ -417,6 +459,7 @@ def _run_list_star_forest(
             seed=config.seed,
             rounds=rounds,
             max_lll_rounds=max_lll_rounds,
+            schedule=config.schedule,
         )
     if method == "hpartition":
         from ..decomposition.lsfd import (
@@ -444,17 +487,16 @@ def _run_orientation(
     method: str = "augmentation",
     rounds: Optional[RoundCounter] = None,
 ) -> OrientationResult:
-    counter = ensure_counter(rounds)
     # hpartition ignores alpha (it peels by pseudoarboricity), so only
     # the alpha-consuming methods pull the session's memoized value.
-    orientation, bound = low_outdegree_orientation(
+    return orientation_decomposition(
         session.graph,
         config.epsilon,
         alpha=config.alpha if method == "hpartition"
         else session.resolve_alpha(config),
         method=method,
         seed=config.seed,
-        rounds=counter,
+        rounds=rounds,
         backend=session.substrate(config),
         workers=config.workers,
         pseudoarboricity=session.pseudoarboricity()
@@ -462,9 +504,7 @@ def _run_orientation(
         shard_plan=session.shard_plan()
         if method == "hpartition"
         and session.substrate(config) in ("sharded", "parallel") else None,
-    )
-    return OrientationResult(
-        orientation, bound, rounds=counter, graph=session.graph
+        schedule=config.schedule,
     )
 
 
@@ -474,16 +514,22 @@ def _run_pseudoforest(
     method: str = "augmentation",
     rounds: Optional[RoundCounter] = None,
 ) -> PseudoforestResult:
-    counter = ensure_counter(rounds)
-    orientation_result = _run_orientation(
-        session, config, method=method, rounds=counter
-    )
-    coloring = pseudoforest_decomposition_from_orientation(
-        session.graph, orientation_result.orientation
-    )
-    return PseudoforestResult(
-        coloring, orientation_result.bound, rounds=counter,
-        graph=session.graph,
+    return pseudoforest_decomposition_result(
+        session.graph,
+        config.epsilon,
+        alpha=config.alpha if method == "hpartition"
+        else session.resolve_alpha(config),
+        method=method,
+        seed=config.seed,
+        rounds=rounds,
+        backend=session.substrate(config),
+        workers=config.workers,
+        pseudoarboricity=session.pseudoarboricity()
+        if method == "hpartition" else None,
+        shard_plan=session.shard_plan()
+        if method == "hpartition"
+        and session.substrate(config) in ("sharded", "parallel") else None,
+        schedule=config.schedule,
     )
 
 
@@ -494,6 +540,7 @@ def _run_pseudoforest(
 register_task(TaskSpec(
     name="forest",
     runner=_run_forest,
+    pipeline=FOREST_PIPELINE,
     description="(1+eps)alpha forest decomposition of a multigraph",
     citation="Theorem 4.6",
     default_epsilon=0.5,
@@ -502,6 +549,7 @@ register_task(TaskSpec(
 register_task(TaskSpec(
     name="list_forest",
     runner=_run_list_forest,
+    pipeline=LIST_FOREST_PIPELINE,
     description="(1+eps)alpha list-forest decomposition",
     citation="Theorem 4.10",
     default_epsilon=0.5,
@@ -511,6 +559,7 @@ register_task(TaskSpec(
 register_task(TaskSpec(
     name="star_forest",
     runner=_run_star_forest,
+    pipeline=STAR_FOREST_PIPELINE,
     description="(1+O(eps))alpha star-forest decomposition (simple graphs)",
     citation="Theorem 5.4(1)",
     default_epsilon=0.25,
@@ -520,6 +569,7 @@ register_task(TaskSpec(
 register_task(TaskSpec(
     name="list_star_forest",
     runner=_run_list_star_forest,
+    pipeline=LIST_STAR_FOREST_PIPELINE,
     description="list star-forest decomposition (simple graphs)",
     citation="Theorem 5.4(2) / Theorem 2.3",
     default_epsilon=0.05,
@@ -530,6 +580,7 @@ register_task(TaskSpec(
 register_task(TaskSpec(
     name="orientation",
     runner=_run_orientation,
+    pipeline=ORIENTATION_PIPELINE,
     description="(1+eps)alpha low out-degree orientation",
     citation="Corollary 1.1",
     default_epsilon=0.5,
@@ -538,6 +589,7 @@ register_task(TaskSpec(
 register_task(TaskSpec(
     name="pseudoforest",
     runner=_run_pseudoforest,
+    pipeline=PSEUDOFOREST_PIPELINE,
     description="(1+eps)alpha pseudoforest decomposition",
     citation="Corollary 1.1 companion",
     default_epsilon=0.5,

@@ -14,6 +14,13 @@ list variant.  Unmatched edges are recolored via Theorem 2.1(3)
 (ordinary) — Proposition 5.1 bounds their pseudo-arboricity by the
 matching deficit.
 
+Both variants are declared pass DAGs (:data:`STAR_FOREST_PIPELINE`,
+:data:`LIST_STAR_FOREST_PIPELINE`).  The per-vertex ``H_v`` matchings
+are the natural fan-out unit: each LLL round maps the independent
+matchings through ``ctx.fan_out`` (the color-set draws stay in the
+single RNG stream, and matchings consume no randomness, so outputs are
+bit-identical across schedules and worker counts).
+
 Baselines for Corollary 1.2 are also here:
 :func:`two_coloring_star_forests` (the classical ``αstar ≤ 2α``) and
 the H-partition ``3t``-SFD re-export.
@@ -35,7 +42,8 @@ from ..nashwilliams.pseudoarboricity import (
     exact_pseudoarboricity,
     orientation_exists,
 )
-from ..rng import SeedLike, child_rng, make_rng
+from ..pipeline import Pass, Pipeline, PipelineContext, Scheduler, resolve_schedule
+from ..rng import SeedLike, make_rng
 from ..decomposition.hpartition import (
     h_partition,
     star_forest_decomposition_via_hpartition,
@@ -121,83 +129,115 @@ def _build_hv_adjacency(
     return adjacency
 
 
-def star_forest_decomposition_amr(
+def _sf_vertex_matching(
     graph: MultiGraph,
-    epsilon: float,
-    alpha: Optional[int] = None,
-    seed: SeedLike = None,
-    rounds: Optional[RoundCounter] = None,
-    max_lll_rounds: int = 60,
-    backend: str = "auto",
-    workers: int = 0,
-) -> StarForestResult:
-    """Theorem 5.4(1): (1+O(ε))α-SFD of a simple graph.
+    v: int,
+    out_edges: Dict[int, List[int]],
+    t: int,
+    color_sets: Dict[int, Set[int]],
+) -> Tuple[Dict[int, int], int, int]:
+    """Match colors to out-edge slots; returns
+    ``(slot -> color, deficit, dummy slots)``.
 
-    Colors matched edges via per-vertex H_v matchings with uniformly
-    random α-subsets C(v) (Lemma 5.2); vertices whose matching deficit
-    exceeds ``⌈2εα⌉`` are resampled (distributed LLL); the unmatched
-    leftover is recolored with fresh colors via Theorem 2.1(3) —
-    ``backend``/``workers`` select that recoloring pass's peeling
-    substrate (the matching phase itself is per-vertex work).
+    Slots are indices into ``sorted(out_edges[v])`` plus dummy padding
+    to ``t``.  Pure per-vertex work — no shared-state mutation and no
+    RNG draws — so the LLL round can fan these out concurrently.
     """
-    if not graph.is_simple():
-        raise GraphError("Section 5 star-forest decomposition needs a simple graph")
-    counter = ensure_counter(rounds)
-    rng = make_rng(seed)
-    stats = StarForestStats()
-    if graph.m == 0:
-        return StarForestResult({}, 0, counter, stats, graph=graph)
+    slots: List[Optional[int]] = []
+    for eid in sorted(out_edges[v]):
+        slots.append(graph.other_endpoint(eid, v))
+    dummies = t - len(slots)
+    slots.extend([None] * dummies)
+    colors_v = sorted(color_sets[v])
+    adjacency = _build_hv_adjacency(colors_v, slots, color_sets, None)
+    match_left, _ = hopcroft_karp(adjacency)
+    slot_color: Dict[int, int] = {}
+    for left_index, slot in match_left.items():
+        slot_color[slot] = colors_v[left_index]
+    real = len(out_edges[v])
+    matched_real = sum(1 for slot in slot_color if slot < real)
+    return slot_color, real - matched_real, dummies
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.4(1): ordinary star-forest decomposition, as a pass DAG
+# ----------------------------------------------------------------------
+
+
+def _sf_setup(ctx: PipelineContext) -> None:
+    graph = ctx["graph"]
+    ctx["stats"] = StarForestStats()
+    ctx["empty"] = graph.m == 0
+    if ctx["empty"]:
+        return
+    alpha = ctx["alpha"]
     if alpha is None:
         alpha = exact_arboricity(graph)
-    alpha = max(alpha, 1)
+    ctx["alpha"] = max(alpha, 1)
+    ctx["t"] = max(1, math.ceil((1.0 + ctx["epsilon"]) * ctx["alpha"]))
 
-    t = max(1, math.ceil((1.0 + epsilon) * alpha))
-    orientation = _t_orientation(graph, t, counter)
-    stats.orientation_bound = t
+
+def _sf_orient(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    graph = ctx["graph"]
+    orientation = _t_orientation(graph, ctx["t"], ctx.counter)
+    ctx["stats"].orientation_bound = ctx["t"]
     out_edges: Dict[int, List[int]] = {v: [] for v in graph.vertices()}
     for eid, tail in orientation.items():
         out_edges[tail].append(eid)
+    ctx["out_edges"] = out_edges
+    ctx.note(reconcile_volume=len(orientation))
 
+
+def _sf_sample(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    graph = ctx["graph"]
+    t = ctx["t"]
+    alpha = ctx["alpha"]
     color_space = list(range(t))
-    deficit_budget = max(0, math.ceil(2.0 * epsilon * alpha))
+    ctx["deficit_budget"] = max(0, math.ceil(2.0 * ctx["epsilon"] * alpha))
 
     def sample_color_set(rng_) -> Set[int]:
         return set(rng_.sample(color_space, min(alpha, t)))
 
-    color_sets: Dict[int, Set[int]] = {
-        v: sample_color_set(rng) for v in graph.vertices()
+    ctx["sample_color_set"] = sample_color_set
+    ctx["color_sets"] = {
+        v: sample_color_set(ctx["rng"]) for v in graph.vertices()
     }
-    counter.charge(1, "C(v) sampling")
+    ctx.counter.charge(1, "C(v) sampling")
+    ctx.note(vertices_touched=graph.n)
 
+
+def _sf_matchings(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    graph = ctx["graph"]
+    counter = ctx.counter
+    stats = ctx["stats"]
+    out_edges = ctx["out_edges"]
+    t = ctx["t"]
+    color_sets = ctx["color_sets"]
+    deficit_budget = ctx["deficit_budget"]
+    max_lll_rounds = ctx["max_lll_rounds"]
+    verts = list(graph.vertices())
     matchings: Dict[int, Dict[int, int]] = {}
-
-    def vertex_matching(v: int) -> Tuple[Dict[int, int], int]:
-        """Match colors to out-edge slots; returns (slot->color, deficit).
-
-        Slots are indices into out_edges[v] plus dummy padding to t.
-        """
-        slots: List[Optional[int]] = []
-        for eid in sorted(out_edges[v]):
-            slots.append(graph.other_endpoint(eid, v))
-        stats.dummy_slots += t - len(slots)
-        slots.extend([None] * (t - len(slots)))
-        colors_v = sorted(color_sets[v])
-        adjacency = _build_hv_adjacency(colors_v, slots, color_sets, None)
-        match_left, _ = hopcroft_karp(adjacency)
-        slot_color: Dict[int, int] = {}
-        for left_index, slot in match_left.items():
-            slot_color[slot] = colors_v[left_index]
-        real = len(out_edges[v])
-        matched_real = sum(1 for slot in slot_color if slot < real)
-        return slot_color, real - matched_real
-
     lll_round = 0
     while True:
+        results = ctx.fan_out(
+            [
+                (lambda v=v: _sf_vertex_matching(
+                    graph, v, out_edges, t, color_sets
+                ))
+                for v in verts
+            ]
+        )
         deficits: Dict[int, int] = {}
-        for v in graph.vertices():
-            slot_color, deficit = vertex_matching(v)
+        for v, (slot_color, deficit, dummies) in zip(verts, results):
             matchings[v] = slot_color
             deficits[v] = deficit
+            stats.dummy_slots += dummies
         counter.charge(1, "H_v matchings")
         bad = [v for v, d in deficits.items() if d > deficit_budget]
         if not bad:
@@ -212,9 +252,17 @@ def star_forest_decomposition_amr(
             stats.matching_deficits = sorted(deficits.values())
             break
         for v in bad:
-            color_sets[v] = sample_color_set(rng)
+            color_sets[v] = ctx["sample_color_set"](ctx["rng"])
         counter.charge(1, "LLL resampling")
+    ctx["matchings"] = matchings
 
+
+def _sf_assemble(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    graph = ctx["graph"]
+    out_edges = ctx["out_edges"]
+    matchings = ctx["matchings"]
     coloring: Dict[int, object] = {}
     leftover: List[int] = []
     for v in graph.vertices():
@@ -225,16 +273,134 @@ def star_forest_decomposition_amr(
                 coloring[eid] = ("amr", slot_color[slot])
             else:
                 leftover.append(eid)
-    stats.leftover_size = len(leftover)
+    ctx["coloring"] = coloring
+    ctx["leftover"] = leftover
+    ctx["stats"].leftover_size = len(leftover)
+    ctx.note(reconcile_volume=len(coloring) + len(leftover))
 
+
+def _sf_leftover_recolor(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    counter = ctx.counter
     with counter.phase("leftover recoloring"):
         _recolor_leftover_stars(
-            graph, leftover, coloring, counter,
-            backend=backend, workers=workers,
+            ctx["graph"], ctx["leftover"], ctx["coloring"], counter,
+            backend=ctx["backend"], workers=ctx["workers"],
         )
+    ctx.note(reconcile_volume=len(ctx["leftover"]))
 
+
+def _sf_finalize(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        ctx["result"] = StarForestResult(
+            {}, 0, ctx.counter, ctx["stats"], graph=ctx["graph"]
+        )
+        return
+    coloring = ctx["coloring"]
     colors_used = len(set(coloring.values()))
-    return StarForestResult(coloring, colors_used, counter, stats, graph=graph)
+    ctx["result"] = StarForestResult(
+        coloring, colors_used, ctx.counter, ctx["stats"],
+        graph=ctx["graph"],
+    )
+
+
+#: Theorem 5.4(1) as a declared pass DAG.
+STAR_FOREST_PIPELINE = Pipeline(
+    "star_forest",
+    [
+        Pass(
+            "setup", _sf_setup,
+            writes=("stats", "empty", "alpha", "t"),
+            description="resolve α and the t = ⌈(1+ε)α⌉ budget",
+        ),
+        Pass(
+            "orient", _sf_orient, deps=("setup",),
+            reads=("t",), writes=("out_edges",),
+            description="exact t-orientation ([SV19a] substitute)",
+            citation="Theorem 5.4 setup",
+        ),
+        Pass(
+            "sample", _sf_sample, deps=("orient",),
+            writes=("color_sets", "deficit_budget", "sample_color_set"),
+            description="uniform random α-subsets C(v)",
+            citation="Lemma 5.2",
+        ),
+        Pass(
+            "matchings", _sf_matchings, deps=("sample",),
+            reads=("out_edges", "color_sets"), writes=("matchings",),
+            description="per-vertex H_v matchings (fan-out unit), "
+                        "LLL-resampling vertices whose deficit exceeds "
+                        "⌈2εα⌉",
+            citation="Lemma 5.2 (distributed LLL)",
+        ),
+        Pass(
+            "assemble", _sf_assemble, deps=("matchings",),
+            reads=("matchings", "out_edges"),
+            writes=("coloring", "leftover"),
+            description="matched slots become ('amr', i) colors; "
+                        "unmatched edges join the leftover",
+        ),
+        Pass(
+            "leftover_recolor", _sf_leftover_recolor, deps=("assemble",),
+            reads=("leftover",), writes=("coloring",),
+            description="Theorem 2.1(3) recoloring of the leftover "
+                        "with fresh ('extra', ...) colors",
+            citation="Proposition 5.1 / Theorem 2.1(3)",
+        ),
+        Pass(
+            "finalize", _sf_finalize, deps=("leftover_recolor",),
+            reads=("coloring",), writes=("result",),
+            description="assemble the StarForestResult",
+        ),
+    ],
+    description="Theorem 5.4(1): (1+O(ε))α star-forest decomposition",
+)
+
+
+def star_forest_decomposition_amr(
+    graph: MultiGraph,
+    epsilon: float,
+    alpha: Optional[int] = None,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+    max_lll_rounds: int = 60,
+    backend: str = "auto",
+    workers: int = 0,
+    schedule: str = "auto",
+) -> StarForestResult:
+    """Theorem 5.4(1): (1+O(ε))α-SFD of a simple graph.
+
+    Colors matched edges via per-vertex H_v matchings with uniformly
+    random α-subsets C(v) (Lemma 5.2); vertices whose matching deficit
+    exceeds ``⌈2εα⌉`` are resampled (distributed LLL); the unmatched
+    leftover is recolored with fresh colors via Theorem 2.1(3) —
+    ``backend``/``workers`` select that recoloring pass's peeling
+    substrate (the matching phase itself is per-vertex work).
+
+    Executes :data:`STAR_FOREST_PIPELINE` under ``schedule``; outputs
+    are bit-identical across schedules, and the executed per-pass
+    records land in ``result.stats["passes"]``.
+    """
+    if not graph.is_simple():
+        raise GraphError("Section 5 star-forest decomposition needs a simple graph")
+    counter = ensure_counter(rounds)
+    ctx = PipelineContext(
+        counter=counter,
+        values={
+            "graph": graph,
+            "epsilon": epsilon,
+            "alpha": alpha,
+            "rng": make_rng(seed),
+            "max_lll_rounds": max_lll_rounds,
+            "backend": backend,
+            "workers": workers,
+        },
+    )
+    scheduler = Scheduler(resolve_schedule(graph, schedule), workers)
+    result = scheduler.run(STAR_FOREST_PIPELINE, ctx)
+    result.stats.passes = ctx.pass_stats
+    return result
 
 
 def _recolor_leftover_stars(
@@ -265,80 +431,97 @@ def _recolor_leftover_stars(
         coloring[eid] = ("extra", label)
 
 
-def list_star_forest_decomposition_amr(
-    graph: MultiGraph,
-    palettes: Palettes,
-    epsilon: float,
-    alpha: Optional[int] = None,
-    seed: SeedLike = None,
-    rounds: Optional[RoundCounter] = None,
-    max_lll_rounds: int = 200,
-) -> StarForestResult:
-    """Theorem 5.4(2): (1+O(ε))α-LSFD of a simple graph.
+# ----------------------------------------------------------------------
+# Theorem 5.4(2): list star-forest decomposition, as a pass DAG
+# ----------------------------------------------------------------------
 
-    ``C(u)`` keeps each color independently with probability ``1 - ε``
-    (Lemma 5.3); success requires *perfect* matchings in every H_v, so
-    non-convergence raises :class:`ConvergenceError` (the list variant
-    has no leftover to absorb deficits; Lemma 5.3's regime is
-    α ≥ Ω(log Δ) with palettes of size α(1+200ε)).
-    """
-    if not graph.is_simple():
-        raise GraphError("Section 5 star-forest decomposition needs a simple graph")
-    counter = ensure_counter(rounds)
-    rng = make_rng(seed)
-    stats = StarForestStats()
-    if graph.m == 0:
-        return StarForestResult({}, 0, counter, stats, graph=graph)
+
+def _lsf_vertex_matching(
+    graph: MultiGraph,
+    v: int,
+    out_edges: Dict[int, List[int]],
+    color_sets: Dict[int, Set[int]],
+    palette_sets: Dict[int, Set[int]],
+) -> Tuple[Dict[int, int], int]:
+    """List-variant H_v matching (palette-restricted, no dummies);
+    pure per-vertex work, fanned out per LLL round."""
+    ordered = sorted(out_edges[v])
+    slots: List[Optional[int]] = [
+        graph.other_endpoint(eid, v) for eid in ordered
+    ]
+    palette_for = {
+        graph.other_endpoint(eid, v): palette_sets[eid] for eid in ordered
+    }
+    colors_v = sorted(color_sets[v])
+    adjacency = _build_hv_adjacency(colors_v, slots, color_sets, palette_for)
+    match_left, _ = hopcroft_karp(adjacency)
+    slot_color: Dict[int, int] = {}
+    for left_index, slot in match_left.items():
+        slot_color[slot] = colors_v[left_index]
+    return slot_color, len(ordered) - len(slot_color)
+
+
+def _lsf_setup(ctx: PipelineContext) -> None:
+    graph = ctx["graph"]
+    ctx["stats"] = StarForestStats()
+    ctx["empty"] = graph.m == 0
+    if ctx["empty"]:
+        return
+    alpha = ctx["alpha"]
     if alpha is None:
         alpha = exact_arboricity(graph)
-    alpha = max(alpha, 1)
+    ctx["alpha"] = max(alpha, 1)
+    ctx["t"] = max(1, math.ceil((1.0 + ctx["epsilon"]) * ctx["alpha"]))
 
-    t = max(1, math.ceil((1.0 + epsilon) * alpha))
-    orientation = _t_orientation(graph, t, counter)
-    stats.orientation_bound = t
-    out_edges: Dict[int, List[int]] = {v: [] for v in graph.vertices()}
-    for eid, tail in orientation.items():
-        out_edges[tail].append(eid)
 
+def _lsf_sample(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    graph = ctx["graph"]
+    palettes = ctx["palettes"]
     color_space: Set[int] = set()
     for palette in palettes.values():
         color_space.update(palette)
     space = sorted(color_space)
-    keep_probability = 1.0 - epsilon
+    keep_probability = 1.0 - ctx["epsilon"]
 
     def sample_color_set(rng_) -> Set[int]:
         return {c for c in space if rng_.random() < keep_probability}
 
-    color_sets: Dict[int, Set[int]] = {
-        v: sample_color_set(rng) for v in graph.vertices()
+    ctx["sample_color_set"] = sample_color_set
+    ctx["color_sets"] = {
+        v: sample_color_set(ctx["rng"]) for v in graph.vertices()
     }
-    counter.charge(1, "C(v) sampling")
-
-    palette_sets: Dict[int, Set[int]] = {
+    ctx.counter.charge(1, "C(v) sampling")
+    ctx["palette_sets"] = {
         eid: set(palette) for eid, palette in palettes.items()
     }
+    ctx.note(vertices_touched=graph.n)
 
-    def vertex_matching(v: int) -> Tuple[Dict[int, int], int]:
-        ordered = sorted(out_edges[v])
-        slots: List[Optional[int]] = [
-            graph.other_endpoint(eid, v) for eid in ordered
-        ]
-        palette_for = {
-            graph.other_endpoint(eid, v): palette_sets[eid] for eid in ordered
-        }
-        colors_v = sorted(color_sets[v])
-        adjacency = _build_hv_adjacency(colors_v, slots, color_sets, palette_for)
-        match_left, _ = hopcroft_karp(adjacency)
-        slot_color: Dict[int, int] = {}
-        for left_index, slot in match_left.items():
-            slot_color[slot] = colors_v[left_index]
-        return slot_color, len(ordered) - len(slot_color)
 
+def _lsf_matchings(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        return
+    graph = ctx["graph"]
+    counter = ctx.counter
+    stats = ctx["stats"]
+    out_edges = ctx["out_edges"]
+    color_sets = ctx["color_sets"]
+    palette_sets = ctx["palette_sets"]
+    max_lll_rounds = ctx["max_lll_rounds"]
+    verts = list(graph.vertices())
     matchings: Dict[int, Dict[int, int]] = {}
     for lll_round in range(max_lll_rounds + 1):
+        results = ctx.fan_out(
+            [
+                (lambda v=v: _lsf_vertex_matching(
+                    graph, v, out_edges, color_sets, palette_sets
+                ))
+                for v in verts
+            ]
+        )
         deficits: Dict[int, int] = {}
-        for v in graph.vertices():
-            slot_color, deficit = vertex_matching(v)
+        for v, (slot_color, deficit) in zip(verts, results):
             matchings[v] = slot_color
             deficits[v] = deficit
         counter.charge(1, "H_v matchings")
@@ -348,7 +531,7 @@ def list_star_forest_decomposition_amr(
             stats.lll_rounds = lll_round
             break
         for v in bad:
-            color_sets[v] = sample_color_set(rng)
+            color_sets[v] = ctx["sample_color_set"](ctx["rng"])
         counter.charge(1, "LLL resampling")
     else:
         raise ConvergenceError(
@@ -356,16 +539,114 @@ def list_star_forest_decomposition_amr(
             "needs alpha >= Omega(log Delta) and palettes of size "
             "alpha(1 + 200 epsilon)"
         )
+    ctx["matchings"] = matchings
 
+
+def _lsf_finalize(ctx: PipelineContext) -> None:
+    if ctx["empty"]:
+        ctx["result"] = StarForestResult(
+            {}, 0, ctx.counter, ctx["stats"], graph=ctx["graph"]
+        )
+        return
+    graph = ctx["graph"]
+    out_edges = ctx["out_edges"]
+    matchings = ctx["matchings"]
     coloring: Dict[int, object] = {}
     for v in graph.vertices():
         ordered = sorted(out_edges[v])
         slot_color = matchings[v]
         for slot, eid in enumerate(ordered):
             coloring[eid] = slot_color[slot]
-
     colors_used = len(set(coloring.values()))
-    return StarForestResult(coloring, colors_used, counter, stats, graph=graph)
+    ctx["result"] = StarForestResult(
+        coloring, colors_used, ctx.counter, ctx["stats"],
+        graph=ctx["graph"],
+    )
+    ctx.note(reconcile_volume=len(coloring))
+
+
+#: Theorem 5.4(2) as a declared pass DAG (shares the orient pass shape
+#: with the ordinary variant; matchings must be perfect, so there is no
+#: leftover stage).
+LIST_STAR_FOREST_PIPELINE = Pipeline(
+    "list_star_forest",
+    [
+        Pass(
+            "setup", _lsf_setup,
+            writes=("stats", "empty", "alpha", "t"),
+            description="resolve α and the t = ⌈(1+ε)α⌉ budget",
+        ),
+        Pass(
+            "orient", _sf_orient, deps=("setup",),
+            reads=("t",), writes=("out_edges",),
+            description="exact t-orientation ([SV19a] substitute)",
+            citation="Theorem 5.4 setup",
+        ),
+        Pass(
+            "sample", _lsf_sample, deps=("orient",),
+            reads=("palettes",),
+            writes=("color_sets", "palette_sets", "sample_color_set"),
+            description="independent (1−ε) color retention per vertex",
+            citation="Lemma 5.3",
+        ),
+        Pass(
+            "matchings", _lsf_matchings, deps=("sample",),
+            reads=("out_edges", "color_sets", "palette_sets"),
+            writes=("matchings",),
+            description="per-vertex H_v matchings (fan-out unit); "
+                        "must become perfect or ConvergenceError",
+            citation="Lemma 5.3 (distributed LLL)",
+        ),
+        Pass(
+            "finalize", _lsf_finalize, deps=("matchings",),
+            reads=("matchings", "out_edges"), writes=("result",),
+            description="matched slots become palette colors",
+        ),
+    ],
+    description="Theorem 5.4(2): (1+O(ε))α list star-forest "
+                "decomposition",
+)
+
+
+def list_star_forest_decomposition_amr(
+    graph: MultiGraph,
+    palettes: Palettes,
+    epsilon: float,
+    alpha: Optional[int] = None,
+    seed: SeedLike = None,
+    rounds: Optional[RoundCounter] = None,
+    max_lll_rounds: int = 200,
+    schedule: str = "auto",
+) -> StarForestResult:
+    """Theorem 5.4(2): (1+O(ε))α-LSFD of a simple graph.
+
+    ``C(u)`` keeps each color independently with probability ``1 - ε``
+    (Lemma 5.3); success requires *perfect* matchings in every H_v, so
+    non-convergence raises :class:`ConvergenceError` (the list variant
+    has no leftover to absorb deficits; Lemma 5.3's regime is
+    α ≥ Ω(log Δ) with palettes of size α(1+200ε)).
+
+    Executes :data:`LIST_STAR_FOREST_PIPELINE` under ``schedule``;
+    outputs are bit-identical across schedules.
+    """
+    if not graph.is_simple():
+        raise GraphError("Section 5 star-forest decomposition needs a simple graph")
+    counter = ensure_counter(rounds)
+    ctx = PipelineContext(
+        counter=counter,
+        values={
+            "graph": graph,
+            "palettes": palettes,
+            "epsilon": epsilon,
+            "alpha": alpha,
+            "rng": make_rng(seed),
+            "max_lll_rounds": max_lll_rounds,
+        },
+    )
+    scheduler = Scheduler(resolve_schedule(graph, schedule), 0)
+    result = scheduler.run(LIST_STAR_FOREST_PIPELINE, ctx)
+    result.stats.passes = ctx.pass_stats
+    return result
 
 
 # ----------------------------------------------------------------------

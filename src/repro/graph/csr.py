@@ -1075,3 +1075,141 @@ def rooted_forest_arrays(
         frontier = targets
 
     return ForestArrays(snapshot, depth, parent_eid, sorted(roots))
+
+
+def rooted_forest_class_depths(
+    snapshot: CSRGraph,
+    class_positions: Sequence[np.ndarray],
+) -> Tuple[List[Tuple[np.ndarray, np.ndarray, np.ndarray]], int]:
+    """Root *every* color class's forest in one stacked, fully
+    vectorized computation — the concurrent-schedule kernel behind the
+    batched depth-cut pass.
+
+    ``class_positions`` holds one array of snapshot edge positions per
+    color class.  Classes are stacked into a single disjoint forest
+    over synthetic nodes ``class_index * n + vertex_index``, which is
+    validated and rooted as a whole: leaf peeling consumes the forest
+    inward (proving acyclicity exactly like the union-find on the
+    per-class path — a cycle core never reaches degree 1 and trips the
+    same :class:`GraphError`), pointer doubling labels each node with
+    its tree, every tree is rooted at its minimum original vertex id
+    (matching :class:`~repro.graph.forests.RootedForest` and
+    :func:`rooted_forest_arrays` root selection), and one multi-source
+    BFS assigns depths to all classes simultaneously — wave count is
+    the *maximum* tree depth over classes instead of the per-class sum,
+    and no per-class python union-find or O(n) scratch is allocated.
+
+    Returns ``(per_class, waves)`` where ``per_class[i]`` is
+    ``(depth_u, depth_v, child_vertex_ids)`` aligned with
+    ``class_positions[i]`` — exactly the arrays the per-class
+    :func:`rooted_forest_arrays` cut path derives — and ``waves``
+    counts the frontier-synchronous sweeps (peel + label + BFS).
+    """
+    sizes = [int(len(p)) for p in class_positions]
+    total = sum(sizes)
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return [(empty, empty, empty) for _ in sizes], 0
+
+    n = snapshot.num_vertices
+    all_pos = np.concatenate(
+        [np.asarray(p, dtype=np.int64) for p in class_positions]
+    )
+    cls = np.repeat(
+        np.arange(len(sizes), dtype=np.int64),
+        np.asarray(sizes, dtype=np.int64),
+    )
+    key_u = cls * n + snapshot.edge_u[all_pos]
+    key_v = cls * n + snapshot.edge_v[all_pos]
+
+    nodes = np.unique(np.concatenate((key_u, key_v)))
+    su = np.searchsorted(nodes, key_u)
+    sv = np.searchsorted(nodes, key_v)
+    count_nodes = int(nodes.size)
+    count_edges = int(all_pos.size)
+
+    offsets, nbr, nbr_edge = _half_edge_csr(
+        count_nodes, su, sv, np.arange(count_edges, dtype=np.int64)
+    )
+    deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
+    # XOR of incident edge indices: when a node's degree reaches 1 the
+    # accumulator *is* its unique remaining edge.  Safe because every
+    # stacked node comes from an edge endpoint (degree >= 1).
+    exor = np.bitwise_xor.reduceat(nbr_edge, offsets[:-1])
+
+    parent_node = np.full(count_nodes, -1, dtype=np.int64)
+    peeled = np.zeros(count_nodes, dtype=bool)
+    waves = 0
+    peeled_count = 0
+    frontier = np.nonzero(deg == 1)[0]
+    while frontier.size:
+        waves += 1
+        edge = exor[frontier]
+        nb = np.where(su[edge] == frontier, sv[edge], su[edge])
+        # A two-leaf tree (or a final path segment) peels both
+        # endpoints in the same wave; keep the smaller node as the
+        # survivor so every tree retains exactly one unpeeled center.
+        pair = (deg[nb] == 1) & (exor[nb] == edge)
+        peel = ~pair | (frontier > nb)
+        peel_nodes = frontier[peel]
+        peel_nb = nb[peel]
+        parent_node[peel_nodes] = peel_nb
+        peeled[peel_nodes] = True
+        peeled_count += int(peel_nodes.size)
+        deg[peel_nodes] = 0
+        np.subtract.at(deg, peel_nb, 1)
+        np.bitwise_xor.at(exor, peel_nb, edge[peel])
+        touched = np.unique(peel_nb)
+        frontier = touched[(deg[touched] == 1) & ~peeled[touched]]
+    if peeled_count != count_edges:
+        raise GraphError("edge set is not a forest")
+
+    # Pointer doubling: label every node with its tree's center.
+    label = np.where(peeled, parent_node, np.arange(count_nodes))
+    while True:
+        waves += 1
+        advanced = label[label]
+        if np.array_equal(advanced, label):
+            break
+        label = advanced
+
+    # Root each tree at its minimum original vertex id (vertex ids are
+    # unique within a class, so the minimum is unambiguous).
+    node_vid = snapshot.vertex_ids[nodes % n]
+    order = np.lexsort((node_vid, label))
+    sorted_labels = label[order]
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = sorted_labels[1:] != sorted_labels[:-1]
+    roots = order[first]
+
+    # One multi-source BFS over the whole stack; a forest reaches each
+    # node exactly once, so no per-level dedup is needed.
+    depth_s = np.full(count_nodes, -1, dtype=np.int64)
+    depth_s[roots] = 0
+    frontier = roots
+    level = 0
+    while frontier.size:
+        waves += 1
+        level += 1
+        half = _concat_ranges(offsets[frontier], offsets[frontier + 1])
+        targets = nbr[half]
+        targets = targets[depth_s[targets] < 0]
+        depth_s[targets] = level
+        frontier = targets
+
+    du_all = depth_s[su]
+    dv_all = depth_s[sv]
+    child_all = np.where(
+        du_all > dv_all,
+        snapshot.edge_u_ids[all_pos],
+        snapshot.edge_v_ids[all_pos],
+    )
+    bounds = np.cumsum(np.asarray(sizes, dtype=np.int64))[:-1]
+    per_class = list(
+        zip(
+            np.split(du_all, bounds),
+            np.split(dv_all, bounds),
+            np.split(child_all, bounds),
+        )
+    )
+    return per_class, waves
