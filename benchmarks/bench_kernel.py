@@ -1054,6 +1054,170 @@ def run_passes_comparison():
     return rows
 
 
+# ----------------------------------------------------------------------
+# Delta engine vs full recompute per mutation batch (PR-8)
+# ----------------------------------------------------------------------
+
+DELTA_REPEATS = 2
+DELTA_SPEEDUP_FLOOR = 3.0
+DELTA_BATCHES = 6
+DELTA_BATCH_SIZE = 4
+
+# A sparse forest union at n >= 50k is the delta engine's home turf:
+# the H-partition wave fixed point is *locally* stable (a random edit
+# dirties a handful of vertices), while a from-scratch recompute
+# re-pays the full graph prep (CSR snapshot build), the whole peel,
+# and the O(m) orientation dict.  (A grid is deliberately NOT used
+# here: its nested-square wave gradient is globally coupled — one
+# degree bump can cascade to a quarter of the graph — which is
+# exactly the dirty-fraction fallback's job, covered by the corpus
+# tests, not a maintenance showcase.)
+DELTA_WORKLOADS = [
+    (
+        "forests n=60k a=4",
+        True,
+        lambda: union_of_random_forests(60_000, 4, seed=31),
+    ),
+]
+
+DELTA_WATCH_KWARGS = {"method": "hpartition", "pseudoarboricity": 4}
+
+
+def _delta_batches(graph, seed):
+    """Deterministic mixed batches: local inserts + existing deletes."""
+    rng = random.Random(seed)
+    n = graph.n
+    ids = graph.edge_ids()
+    batches = []
+    used = set()
+    for _ in range(DELTA_BATCHES):
+        inserts = []
+        for _ in range(DELTA_BATCH_SIZE):
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u != v:
+                inserts.append((u, v))
+        deletes = []
+        while len(deletes) < DELTA_BATCH_SIZE:
+            eid = ids[rng.randrange(len(ids))]
+            if eid not in used:
+                used.add(eid)
+                deletes.append(eid)
+        batches.append((inserts, deletes))
+    return batches
+
+
+def run_delta_comparison():
+    rows = []
+    json_rows = []
+    asserted = []
+    cfg = DecompositionConfig(backend="csr", validation="none")
+    for name, assertable, make in DELTA_WORKLOADS:
+        graph = make()
+        batches = _delta_batches(graph, seed=31)
+        session = Session(graph, cfg)
+        session.watch("orientation", **DELTA_WATCH_KWARGS)
+
+        delta_ms_total = 0.0
+        full_ms_total = 0.0
+        incremental = 0
+        for inserts, deletes in batches:
+            start = time.perf_counter()
+            report = session.apply_delta(inserts, deletes)
+            delta_ms = (time.perf_counter() - start) * 1e3
+            delta_ms_total += delta_ms
+            incremental += int(report.mode == "incremental")
+
+            # Full-recompute baseline on the *same* mutated graph: a
+            # fresh session on a copy (copy untimed) so no oracle or
+            # snapshot cache leaks into the baseline.
+            baseline_graph = graph.copy()
+            best_full = None
+            for _ in range(DELTA_REPEATS):
+                fresh = Session(baseline_graph.copy(), cfg)
+                start = time.perf_counter()
+                result = fresh.decompose(
+                    "orientation", **DELTA_WATCH_KWARGS
+                )
+                elapsed = (time.perf_counter() - start) * 1e3
+                best_full = (
+                    elapsed if best_full is None else min(best_full, elapsed)
+                )
+            full_ms_total += best_full
+            # bit-identity of the maintained result, every batch
+            assert session.current("orientation").coloring == result.coloring
+
+        per_batch_delta = delta_ms_total / len(batches)
+        per_batch_full = full_ms_total / len(batches)
+        speedup = per_batch_full / per_batch_delta
+        rows.append(
+            (
+                name,
+                graph.n,
+                graph.m,
+                f"{incremental}/{len(batches)}",
+                f"{per_batch_full:.1f}",
+                f"{per_batch_delta:.1f}",
+                f"{speedup:.2f}x",
+            )
+        )
+        json_rows.append(
+            {
+                "workload": name,
+                "n": graph.n,
+                "m": graph.m,
+                "batches": len(batches),
+                "batch_size": DELTA_BATCH_SIZE,
+                "incremental_batches": incremental,
+                "full_ms": round(per_batch_full, 3),
+                "delta_ms": round(per_batch_delta, 3),
+                "speedup": round(speedup, 3),
+            }
+        )
+        if assertable:
+            asserted.append((name, speedup))
+
+    emit(
+        "delta",
+        format_table(
+            "Delta engine vs full recompute per mutation batch (n >= 50k)",
+            [
+                "workload",
+                "n",
+                "m",
+                "incremental",
+                "full ms",
+                "delta ms",
+                "speedup",
+            ],
+            rows,
+        ),
+    )
+    emit_json(
+        "BENCH_delta",
+        {
+            "bench": "delta",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": DELTA_SPEEDUP_FLOOR,
+            "rows": json_rows,
+            "asserted": [
+                {"workload": name, "speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
+
+    if not SNAPSHOT_MODE:
+        for name, speedup in asserted:
+            assert speedup >= DELTA_SPEEDUP_FLOOR, (
+                f"{name}: delta-engine speedup {speedup:.2f}x < "
+                f"{DELTA_SPEEDUP_FLOOR}x vs full recompute at n >= 50k — "
+                "the delta engine's reason to exist"
+            )
+    return rows
+
+
 def bench_kernel(benchmark=None):
     if benchmark is None:
         run_kernel_comparison()
@@ -1117,6 +1281,15 @@ def bench_passes(benchmark=None):
         once(benchmark, run_passes_comparison)
 
 
+def bench_delta(benchmark=None):
+    if benchmark is None:
+        run_delta_comparison()
+    else:
+        from harness import once
+
+        once(benchmark, run_delta_comparison)
+
+
 if __name__ == "__main__":
     bench_kernel()
     bench_traversal()
@@ -1125,3 +1298,4 @@ if __name__ == "__main__":
     bench_parallel_bfs()
     bench_carve()
     bench_passes()
+    bench_delta()

@@ -106,7 +106,9 @@ _SUBMODULES = (
     "decomposition",
     "nashwilliams",
     "local",
+    "parallel",
     "pipeline",
+    "service",
     "verify",
     "graph",
 )

@@ -266,6 +266,57 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the incremental decomposition daemon (repro.service)."""
+    from .core import DecompositionConfig
+    from .service.server import serve
+
+    config = DecompositionConfig(
+        backend=args.backend,
+        workers=args.workers,
+        delta_mode=args.delta_mode,
+        delta_threshold=args.delta_threshold,
+    )
+    log_stream = None
+    if args.log == "-":
+        log_stream = sys.stderr
+    elif args.log:
+        log_stream = open(args.log, "a", encoding="utf-8")
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            config=config,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            graph_path=args.graph,
+            log_stream=log_stream,
+        )
+    finally:
+        if log_stream is not None and log_stream is not sys.stderr:
+            log_stream.close()
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """One request against a running daemon, response printed as JSON."""
+    from .service.client import ServeClient, ServeError
+
+    payload = json.loads(args.payload) if args.payload else {}
+    if not isinstance(payload, dict):
+        print("--payload must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(args.host, args.port) as client:
+            response = client.request(args.op, **payload)
+    except ServeError as error:
+        print(json.dumps({"ok": False, "error": str(error),
+                          "error_kind": error.kind}, indent=2, sort_keys=True))
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .graph import generators
 
@@ -370,6 +421,54 @@ def main(argv=None) -> int:
         help="a registered task name; built-ins: " + "|".join(BUILTIN_TASKS),
     )
     p_desc.set_defaults(func=_cmd_describe)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived incremental decomposition daemon "
+        "(line-delimited JSON over TCP; see repro.service)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick a free one; the bound "
+                         "port is printed in the READY handshake)")
+    p_serve.add_argument("--graph", default=None,
+                         help="edge-list file to load at startup")
+    p_serve.add_argument("--backend", default="auto")
+    p_serve.add_argument("--workers", type=int, default=0)
+    p_serve.add_argument("--delta-mode", default="auto",
+                         choices=("auto", "incremental", "full"),
+                         help="delta engine policy (latency only; "
+                         "results are identical)")
+    p_serve.add_argument("--delta-threshold", type=float, default=0.25,
+                         help="dirty-fraction above which auto mode "
+                         "falls back to full recompute")
+    p_serve.add_argument("--checkpoint-dir", default=None,
+                         help="directory for snapshots + delta journal "
+                         "(enables kill -9 durability)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=16,
+                         help="batches between periodic snapshots "
+                         "(0 = only journal + exit checkpoint)")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="restore the last checkpoint generation "
+                         "and replay its journal before serving")
+    p_serve.add_argument("--log", default=None,
+                         help="structured JSON-line log file "
+                         "('-' = stderr)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="send one op to a running serve daemon, print the JSON reply",
+    )
+    p_client.add_argument("op",
+                          help="protocol op: ping|load_graph|watch|unwatch|"
+                          "apply_delta|query|current|stats|checkpoint|"
+                          "shutdown")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, required=True)
+    p_client.add_argument("--payload", default=None,
+                          help="JSON object merged into the request")
+    p_client.set_defaults(func=_cmd_client)
 
     p_gen = sub.add_parser("generate", help="generate a workload graph")
     p_gen.add_argument(

@@ -51,6 +51,19 @@ Semantics of the shared fields:
   ``REPRO_FORCE_PARALLEL=1``, matching the backend auto-gating).
   Outputs are bit-identical across schedules — purely a throughput
   knob, like ``workers``.
+* ``delta_mode`` — how :meth:`~repro.core.session.Session.apply_delta`
+  maintains watched decompositions under edge-stream mutations:
+  ``"auto"`` (default; repair the dirty cascade incrementally, fall
+  back to a full recompute when the dirty fraction crosses
+  ``delta_threshold``), ``"incremental"`` (never fall back on dirty
+  fraction — still recomputes when repair is structurally
+  impossible), or ``"full"`` (always recompute from scratch).  The
+  post-delta result is bit-identical in every mode — this is purely a
+  latency knob.
+* ``delta_threshold`` — dirty-fraction cutoff for ``delta_mode="auto"``
+  in ``[0, 1]``: when more than ``delta_threshold * n`` vertices
+  change their H-partition wave during repair, the delta engine
+  abandons the cascade and recomputes from scratch.
 """
 
 from __future__ import annotations
@@ -66,6 +79,7 @@ from ..rng import SeedLike
 VALIDATION_LEVELS = ("none", "basic", "full")
 CARVE_RULES = ("doubling", "simultaneous")
 SCHEDULE_MODES = ("auto", "serial", "concurrent")
+DELTA_MODES = ("auto", "incremental", "full")
 
 
 @dataclass(frozen=True)
@@ -82,6 +96,8 @@ class DecompositionConfig:
     carve_rule: str = "doubling"
     validation: str = "none"
     schedule: str = "auto"
+    delta_mode: str = "auto"
+    delta_threshold: float = 0.25
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -112,6 +128,20 @@ class DecompositionConfig:
         if self.epsilon is not None and self.epsilon <= 0:
             raise ValidationError(
                 f"epsilon must be positive, got {self.epsilon}"
+            )
+        if self.delta_mode not in DELTA_MODES:
+            raise ValidationError(
+                f"unknown delta_mode {self.delta_mode!r}; "
+                f"expected one of {DELTA_MODES}"
+            )
+        if (
+            not isinstance(self.delta_threshold, (int, float))
+            or isinstance(self.delta_threshold, bool)
+            or not 0.0 <= self.delta_threshold <= 1.0
+        ):
+            raise ValidationError(
+                f"delta_threshold must be a fraction in [0, 1], "
+                f"got {self.delta_threshold!r}"
             )
 
     # -- evolution ------------------------------------------------------

@@ -28,6 +28,7 @@ registry (``override=True`` to replace an entry); unknown names raise
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
@@ -61,6 +62,16 @@ class TaskSpec:
     #: what ``repro.describe(task)`` prints — the runner stays the
     #: entry point, the pipeline is its declared structure
     pipeline: Optional[Any] = None
+    #: optional incremental refresher consumed by the delta engine
+    #: (:meth:`repro.core.session.Session.apply_delta`):
+    #: ``delta(session, watch, info) -> DecompositionResult | None``,
+    #: where ``None`` means "cannot repair this delta incrementally —
+    #: fall back to a full recompute".  A refresher MUST return a
+    #: result bit-identical to a from-scratch run of the task on the
+    #: mutated graph; the delta-equivalence corpus enforces it for the
+    #: built-ins.  Attached lazily via :func:`set_task_delta` so the
+    #: service layer stays an optional import.
+    delta: Optional[TaskRunner] = None
 
 
 @dataclass(frozen=True)
@@ -105,6 +116,19 @@ def register_task(spec: TaskSpec, override: bool = False) -> TaskSpec:
 def unregister_task(name: str) -> None:
     """Remove a task (mainly for tests restoring a clean registry)."""
     _TASKS.pop(name, None)
+
+
+def set_task_delta(name: str, delta: Optional[TaskRunner]) -> TaskSpec:
+    """Attach (or clear) a task's incremental delta refresher.
+
+    The built-in refreshers live in :mod:`repro.service.delta` and
+    register themselves on first import, keeping the service subsystem
+    out of the core import graph; third-party tasks use the same hook.
+    """
+    spec = get_task(name)
+    spec = dataclasses.replace(spec, delta=delta)
+    _TASKS[name] = spec
+    return spec
 
 
 def get_task(name: str) -> TaskSpec:

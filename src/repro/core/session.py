@@ -118,6 +118,13 @@ class Session:
         #: wall-clock seconds of the graph-prep phase of the most
         #: recent :meth:`prepare` (cache hits make this ~0)
         self.last_prep_seconds: float = 0.0
+        #: task name -> WatchState of decompositions maintained by
+        #: :meth:`apply_delta` (populated by :meth:`watch`)
+        self._watches: "OrderedDict[str, Any]" = OrderedDict()
+        #: DeltaReports of past :meth:`apply_delta` batches (bounded)
+        self._delta_reports: list = []
+        #: lazily created repro.service.delta.DeltaState
+        self._delta_state: Any = None
 
     # ------------------------------------------------------------------
     # Fingerprint-keyed caches
@@ -250,6 +257,11 @@ class Session:
             name: dict(totals)
             for name, totals in sorted(self._pass_totals.items())
         }
+        if self._delta_state is not None:
+            delta = self._delta_state.oracle.stats()
+            delta["seq"] = self._delta_state.seq
+            delta["watches"] = len(self._watches)
+            info["delta"] = delta
         return info
 
     def _record_passes(self, result: "DecompositionResult") -> None:
@@ -338,6 +350,90 @@ class Session:
         if cfg.validation != "none":
             result.validate(level=cfg.validation)
         return result
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the delta engine, repro.service.delta)
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        task: str = "forest",
+        config: Optional[DecompositionConfig] = None,
+        **kwargs: Any,
+    ) -> DecompositionResult:
+        """Run ``task`` once and keep its result maintained: every
+        subsequent :meth:`apply_delta` batch refreshes it (repairing
+        the dirty cascade incrementally when the task supports it,
+        recomputing otherwise) so :meth:`current` always equals a
+        fresh ``decompose`` on the mutated graph — bit-identically.
+        Re-watching a task replaces its knobs."""
+        from ..service.delta import watch_task
+
+        return watch_task(self, task, config, kwargs)
+
+    def unwatch(self, task: Optional[str] = None) -> None:
+        """Stop maintaining ``task`` (every watched task when None)."""
+        if task is None:
+            self._watches.clear()
+        else:
+            self._watches.pop(task, None)
+
+    def watched(self) -> Tuple[str, ...]:
+        """Names of the tasks currently maintained, in watch order."""
+        return tuple(self._watches)
+
+    def current(self, task: str) -> DecompositionResult:
+        """The maintained result of a watched task (no recompute)."""
+        try:
+            return self._watches[task].result
+        except KeyError:
+            raise ValidationError(
+                f"task {task!r} is not watched; call "
+                f"session.watch({task!r}, ...) first"
+            ) from None
+
+    def apply_delta(
+        self,
+        inserts: Iterable[Tuple[int, int]] = (),
+        deletes: Iterable[int] = (),
+        config: Optional[DecompositionConfig] = None,
+    ):
+        """Mutate the graph by one batch of edge edits and refresh
+        every watched decomposition.
+
+        ``inserts`` is an iterable of ``(u, v)`` endpoint pairs (edge
+        ids are assigned by the graph, reported in the returned
+        :class:`~repro.service.delta.DeltaReport`); ``deletes`` an
+        iterable of edge ids.  The batch is validated up front and
+        applied atomically — a bad edit raises and leaves the graph
+        untouched.
+
+        **Contract:** after the call, :meth:`current` of every watched
+        task is bit-identical (same coloring/orientation content, same
+        bound) to running the task from scratch on the mutated graph.
+        ``config.delta_mode`` / ``config.delta_threshold`` (from the
+        per-call ``config``, falling back to the session default)
+        choose between incremental repair and full recompute; they
+        never change results, only latency.
+        """
+        from ..service.delta import apply_delta as _apply_delta
+
+        return _apply_delta(
+            self, tuple(inserts), tuple(deletes), config=config
+        )
+
+    def content_digest(self) -> str:
+        """A blake2b digest of the graph's full content (vertex set +
+        edge multiset, ids included), maintained in O(|delta|) per
+        :meth:`apply_delta` batch instead of rehashing the edge list;
+        out-of-band mutations trigger one full resync."""
+        from ..service.delta import content_digest as _content_digest
+
+        return _content_digest(self)
+
+    def delta_reports(self) -> Tuple[Any, ...]:
+        """DeltaReports of the :meth:`apply_delta` batches so far."""
+        return tuple(self._delta_reports)
 
 
 def decompose(
@@ -486,9 +582,13 @@ def _run_orientation(
     config: DecompositionConfig,
     method: str = "augmentation",
     rounds: Optional[RoundCounter] = None,
+    pseudoarboricity: Optional[int] = None,
 ) -> OrientationResult:
     # hpartition ignores alpha (it peels by pseudoarboricity), so only
     # the alpha-consuming methods pull the session's memoized value.
+    # A caller-pinned pseudoarboricity (config.options or kwarg) skips
+    # the exact flow computation entirely — the knob the delta engine
+    # and the serve daemon lean on for large evolving graphs.
     return orientation_decomposition(
         session.graph,
         config.epsilon,
@@ -499,7 +599,10 @@ def _run_orientation(
         rounds=rounds,
         backend=session.substrate(config),
         workers=config.workers,
-        pseudoarboricity=session.pseudoarboricity()
+        pseudoarboricity=(
+            pseudoarboricity if pseudoarboricity is not None
+            else session.pseudoarboricity()
+        )
         if method == "hpartition" else None,
         shard_plan=session.shard_plan()
         if method == "hpartition"
@@ -513,6 +616,7 @@ def _run_pseudoforest(
     config: DecompositionConfig,
     method: str = "augmentation",
     rounds: Optional[RoundCounter] = None,
+    pseudoarboricity: Optional[int] = None,
 ) -> PseudoforestResult:
     return pseudoforest_decomposition_result(
         session.graph,
@@ -524,7 +628,10 @@ def _run_pseudoforest(
         rounds=rounds,
         backend=session.substrate(config),
         workers=config.workers,
-        pseudoarboricity=session.pseudoarboricity()
+        pseudoarboricity=(
+            pseudoarboricity if pseudoarboricity is not None
+            else session.pseudoarboricity()
+        )
         if method == "hpartition" else None,
         shard_plan=session.shard_plan()
         if method == "hpartition"

@@ -31,6 +31,41 @@ from .cole_vishkin import three_color_rooted_forest
 Orientation = Dict[int, int]  # edge id -> tail vertex
 
 
+# ----------------------------------------------------------------------
+# Wave oracle: the delta engine's seam into the peel
+# ----------------------------------------------------------------------
+#
+# A *wave oracle* is an object the incremental-decomposition service
+# (repro.service.delta) hangs off a graph instance; it caches the peel's
+# wave labels per threshold and repairs them locally under edge
+# mutations.  ``h_partition`` consults it before peeling and feeds it
+# after, so every caller — the orientation pipeline, CUT's internal
+# 3α-orientation when run on the session graph, direct calls — shares
+# one maintained wave assignment.  An oracle hit charges the same number
+# of LOCAL rounds the peel would have (one per wave), keeping round
+# accounting identical.  The protocol is duck-typed:
+#
+#   lookup(graph, threshold) -> Dict[vertex, wave] | None
+#   record(graph, threshold, classes: Dict[vertex, wave]) -> None
+
+_WAVE_ORACLE_ATTR = "_wave_oracle"
+
+
+def install_wave_oracle(graph: MultiGraph, oracle) -> None:
+    """Attach ``oracle`` to ``graph`` (one per graph; replaces any)."""
+    graph.__dict__[_WAVE_ORACLE_ATTR] = oracle
+
+
+def uninstall_wave_oracle(graph: MultiGraph) -> None:
+    """Detach the graph's wave oracle, if any."""
+    graph.__dict__.pop(_WAVE_ORACLE_ATTR, None)
+
+
+def wave_oracle_of(graph: MultiGraph):
+    """The graph's installed wave oracle, or None."""
+    return graph.__dict__.get(_WAVE_ORACLE_ATTR)
+
+
 class HPartition:
     """Result of the peeling process: vertex classes + threshold."""
 
@@ -85,8 +120,19 @@ def h_partition(
     """
     counter = ensure_counter(rounds)
     cap = max_iterations if max_iterations is not None else 4 * graph.n + 8
+    oracle = wave_oracle_of(graph)
+    if oracle is not None:
+        cached = oracle.lookup(graph, threshold)
+        if cached is not None:
+            waves = max(cached.values(), default=0)
+            if waves:
+                counter.charge(waves, "H-partition wave")
+            return HPartition(cached, threshold)
     if backend == "dict":
-        return _h_partition_dict(graph, threshold, counter, cap)
+        partition = _h_partition_dict(graph, threshold, counter, cap)
+        if oracle is not None:
+            oracle.record(graph, threshold, partition.classes)
+        return partition
     if backend == "parallel":
         # The parallel pipeline backend peels on the sharded view; the
         # engine-backed BFS specialization lives in the traversal /
@@ -122,6 +168,8 @@ def h_partition(
             classes[vertex_ids[index]] = wave
         counter.charge(1, "H-partition wave")
 
+    if oracle is not None:
+        oracle.record(graph, threshold, classes)
     return HPartition(classes, threshold)
 
 

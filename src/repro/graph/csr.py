@@ -90,7 +90,14 @@ def _half_edge_csr(
     half_src = np.concatenate((sub_u, sub_v))
     half_dst = np.concatenate((sub_v, sub_u))
     half_eid = np.concatenate((sub_eid, sub_eid))
-    order = np.argsort(half_src, kind="stable")
+    # Stable order is unique, so sorting a uint32 view of the keys
+    # yields the identical permutation while hitting numpy's radix
+    # path (several times faster than the int64 comparison sort).
+    # Dense vertex indices are nonnegative and far below 2**32.
+    sort_key = (
+        half_src.astype(np.uint32) if n < 2**32 - 1 else half_src
+    )
+    order = np.argsort(sort_key, kind="stable")
     counts = (
         np.bincount(half_src, minlength=n)
         if half_src.size

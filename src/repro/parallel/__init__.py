@@ -32,6 +32,7 @@ from .bfs import (
     induced_eccentricity_sweep,
     parallel_bfs_distance_array,
     resolve_claims,
+    segment_kth_largest,
 )
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "frontier_candidates",
     "induced_eccentricity_sweep",
     "resolve_claims",
+    "segment_kth_largest",
     "DENSE_WAVE_DIVISOR",
     "FAN_OUT_MIN_HALF_EDGES",
     "FAN_OUT_MIN_SCAN_VERTICES",

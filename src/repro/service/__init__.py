@@ -1,0 +1,68 @@
+"""repro.service — the incremental decomposition service.
+
+Two layers on top of the PR 4–7 runtime:
+
+* :mod:`repro.service.delta` — the delta engine behind
+  :meth:`repro.Session.apply_delta` / :meth:`repro.Session.watch`:
+  edge-stream mutations repair the decomposition's dirty cascade
+  in place (H-partition wave worklist + orientation patching) with a
+  hard bit-identity contract against full recompute.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  ``repro serve`` daemon: a long-lived process holding one shared
+  session behind a line-delimited-JSON socket, with a write-ahead
+  delta journal and periodic checkpoints
+  (:mod:`repro.service.checkpoint`) so it survives ``kill -9`` and
+  resumes via ``repro serve --resume``.
+
+Everything here is lazily imported: the core library never pays for
+the service subsystem unless a session watches a task or a daemon
+starts.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_LAZY = {
+    "delta": ".delta",
+    "checkpoint": ".checkpoint",
+    "server": ".server",
+    "client": ".client",
+    "DeltaReport": ".delta",
+    "DeltaInfo": ".delta",
+    "WatchReport": ".delta",
+    "SessionWaveOracle": ".delta",
+    "apply_delta": ".delta",
+    "watch_task": ".delta",
+    "content_digest": ".delta",
+    "chain_digest": ".delta",
+    "repair_waves": ".delta",
+    "patched_snapshot": ".delta",
+    "JOURNAL_CHAIN_SEED": ".delta",
+    "Checkpointer": ".checkpoint",
+    "RestoredState": ".checkpoint",
+    "restore_session": ".checkpoint",
+    "ReproServer": ".server",
+    "serve": ".server",
+    "READY_PREFIX": ".server",
+    "ServeClient": ".client",
+    "ServeError": ".client",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name):
+    try:
+        module = importlib.import_module(_LAZY[name], __name__)
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.service' has no attribute {name!r}"
+        ) from None
+    if _LAZY[name].lstrip(".") == name:
+        return module
+    return getattr(module, name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,408 @@
+"""Crash-safe persistence for the serve daemon.
+
+A checkpoint directory holds *generations*.  Generation ``g`` is three
+files plus the manifest that makes it live:
+
+* ``state-<g>.npz`` — the graph content as four aligned arrays
+  (``vertex_ids``, ``edge_id``, ``edge_u``, ``edge_v``) **in the
+  graph's insertion order**, which is exactly what
+  :meth:`CSRGraph.from_multigraph` consumes — so a restored graph
+  reproduces the original's snapshot byte for byte;
+* ``state-<g>.json`` — the scalar state: id counters
+  (``next_vertex`` / ``next_edge``, so replayed inserts are assigned
+  the same edge ids the live run assigned), the delta journal position
+  (``seq`` / ``chain``), the session config, and the watched tasks
+  with their knobs;
+* ``journal-<g>.jsonl`` — one line per :meth:`Session.apply_delta`
+  batch applied *since* the snapshot, each carrying its position in
+  the blake2b hash chain (:func:`repro.service.delta.chain_digest`).
+
+``MANIFEST.json`` names the live generation and is swapped atomically
+(``os.replace`` of a same-directory temp file), so a crash at any
+instant leaves either the old or the new generation live — never a
+torn one.  Journal lines are flushed and fsynced before the daemon
+acknowledges a batch; after ``kill -9`` the tail may hold one torn
+(partially written) line, which :func:`load` drops — that batch was
+never acknowledged, so dropping it is the consistent outcome.
+
+Restore = rebuild the graph arrays, replay the journal's mutations in
+order (verifying the hash chain), and hand back enough state to
+re-create the session and its watches.  Decompositions are **not**
+persisted: every task's output is a pure function of the graph and its
+config (the delta engine's bit-identity contract), so re-running the
+watches on the restored graph reproduces the pre-crash results
+exactly, and the checkpoint stays small.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import DecompositionConfig
+from ..errors import GraphError
+from ..graph.multigraph import MultiGraph
+from .delta import JOURNAL_CHAIN_SEED, chain_digest, ensure_delta_state
+
+__all__ = ["Checkpointer", "RestoredState", "restore_session"]
+
+SCHEMA_VERSION = 1
+
+#: generations kept on disk after a checkpoint (the live one plus its
+#: predecessor, so a torn checkpoint never strands the daemon).
+KEEP_GENERATIONS = 2
+
+
+def _fsync_write(path: str, data: str) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + fsync +
+    ``os.replace``)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _fsync_dir(directory: str) -> None:
+    """fsync a directory so renames inside it survive power loss
+    (best-effort: not all platforms allow opening directories)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@dataclass
+class RestoredState:
+    """Everything :func:`load` recovered from a checkpoint directory."""
+
+    graph: MultiGraph
+    config: DecompositionConfig
+    #: ``(task, config, kwargs)`` per watch, in watch order
+    watches: List[Tuple[str, DecompositionConfig, Dict[str, Any]]]
+    seq: int
+    chain: str
+    generation: int
+    #: journal batches replayed on top of the snapshot
+    replayed: int = 0
+    server_meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class Checkpointer:
+    """Owns one checkpoint directory: snapshot generations plus the
+    live delta journal (see the module docstring for the layout)."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.generation = 0
+        self._journal_handle = None
+        self.journaled = 0
+        manifest = self._read_manifest()
+        if manifest is not None:
+            self.generation = int(manifest["generation"])
+
+    # -- paths ---------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, "MANIFEST.json")
+
+    def _state_npz(self, generation: int) -> str:
+        return os.path.join(self.directory, f"state-{generation:06d}.npz")
+
+    def _state_json(self, generation: int) -> str:
+        return os.path.join(self.directory, f"state-{generation:06d}.json")
+
+    def _journal_path(self, generation: int) -> str:
+        return os.path.join(self.directory, f"journal-{generation:06d}.jsonl")
+
+    def _read_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+
+    # -- write side ----------------------------------------------------
+
+    def checkpoint(
+        self, session, server_meta: Optional[Dict[str, Any]] = None
+    ) -> int:
+        """Write a new generation from ``session``'s current state and
+        make it live.  Returns the new generation number."""
+        state = ensure_delta_state(session)
+        graph = session.graph
+        generation = self.generation + 1
+
+        vertex_ids = np.fromiter(
+            graph._adj.keys(), dtype=np.int64, count=graph.n
+        )
+        edge_id = np.empty(graph.m, dtype=np.int64)
+        edge_u = np.empty(graph.m, dtype=np.int64)
+        edge_v = np.empty(graph.m, dtype=np.int64)
+        for pos, (eid, (u, v)) in enumerate(graph._edges.items()):
+            edge_id[pos] = eid
+            edge_u[pos] = u
+            edge_v[pos] = v
+
+        npz_path = self._state_npz(generation)
+        with open(npz_path, "wb") as handle:
+            np.savez(
+                handle,
+                vertex_ids=vertex_ids,
+                edge_id=edge_id,
+                edge_u=edge_u,
+                edge_v=edge_v,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "generation": generation,
+            "next_vertex": graph._next_vertex,
+            "next_edge": graph._next_edge,
+            "seq": state.seq,
+            "chain": state.chain,
+            "config": session.config.to_json(),
+            "watches": [
+                {
+                    "task": ws.task,
+                    "config": ws.config.to_json(),
+                    "kwargs": dict(ws.kwargs),
+                }
+                for ws in session._watches.values()
+            ],
+            "content_digest": session.content_digest(),
+            "server": dict(server_meta or {}),
+        }
+        _fsync_write(self._state_json(generation), json.dumps(meta, indent=2))
+
+        # A fresh (empty) journal accompanies every generation; create
+        # it before the manifest swap so the live generation is always
+        # complete on disk.
+        self._close_journal()
+        self._journal_handle = open(
+            self._journal_path(generation), "a", encoding="utf-8"
+        )
+        _fsync_write(
+            self._manifest_path(),
+            json.dumps({"schema": SCHEMA_VERSION, "generation": generation}),
+        )
+        _fsync_dir(self.directory)
+
+        self.generation = generation
+        self.journaled = 0
+        self._prune()
+        return generation
+
+    def journal(self, payload: Dict[str, Any], chain: str) -> None:
+        """Append one applied batch to the live journal and fsync it.
+
+        ``payload`` is the batch in the delta engine's chain format
+        (``{"seq", "inserts", "deletes"}``); ``chain`` is the chain
+        value the engine computed for it, stored alongside so restore
+        can verify link-by-link.  Called after the batch applied but
+        **before** the daemon acknowledges it — an acked batch is
+        always on disk.
+        """
+        if self._journal_handle is None:
+            self._journal_handle = open(
+                self._journal_path(self.generation), "a", encoding="utf-8"
+            )
+        record = dict(payload)
+        record["chain"] = chain
+        self._journal_handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._journal_handle.flush()
+        os.fsync(self._journal_handle.fileno())
+        self.journaled += 1
+
+    def close(self) -> None:
+        self._close_journal()
+
+    def _close_journal(self) -> None:
+        if self._journal_handle is not None:
+            self._journal_handle.close()
+            self._journal_handle = None
+
+    def _prune(self) -> None:
+        """Drop generations older than the newest KEEP_GENERATIONS."""
+        cutoff = self.generation - KEEP_GENERATIONS
+        for name in os.listdir(self.directory):
+            for prefix in ("state-", "journal-"):
+                if not name.startswith(prefix):
+                    continue
+                stem = name[len(prefix):].split(".", 1)[0]
+                try:
+                    generation = int(stem)
+                except ValueError:
+                    continue
+                if generation <= cutoff:
+                    try:
+                        os.remove(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+
+
+def _rebuild_graph(
+    arrays, next_vertex: int, next_edge: int
+) -> MultiGraph:
+    """Reconstruct the MultiGraph exactly: same vertex and edge
+    insertion order (so CSR snapshots match byte for byte), same id
+    counters (so replayed/future inserts get the same ids)."""
+    graph = MultiGraph()
+    for vertex in arrays["vertex_ids"].tolist():
+        graph._adj[vertex] = {}
+    for eid, u, v in zip(
+        arrays["edge_id"].tolist(),
+        arrays["edge_u"].tolist(),
+        arrays["edge_v"].tolist(),
+    ):
+        graph._edges[eid] = (u, v)
+        graph._adj[u].setdefault(v, set()).add(eid)
+        graph._adj[v].setdefault(u, set()).add(eid)
+    graph._next_vertex = int(next_vertex)
+    graph._next_edge = int(next_edge)
+    return graph
+
+
+def load(directory: str) -> Optional[RestoredState]:
+    """Load the live generation from ``directory`` and replay its
+    journal; ``None`` when no checkpoint exists yet.
+
+    Every journal line's hash chain is verified against
+    :func:`~repro.service.delta.chain_digest`; a torn final line
+    (a ``kill -9`` mid-write) is dropped, any other corruption raises
+    :class:`~repro.errors.GraphError`.
+    """
+    checkpointer = Checkpointer.__new__(Checkpointer)
+    checkpointer.directory = directory
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        return None
+    generation = int(manifest["generation"])
+
+    json_path = os.path.join(directory, f"state-{generation:06d}.json")
+    npz_path = os.path.join(directory, f"state-{generation:06d}.npz")
+    with open(json_path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if meta.get("schema") != SCHEMA_VERSION:
+        raise GraphError(
+            f"unsupported checkpoint schema {meta.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    with np.load(npz_path) as arrays:
+        graph = _rebuild_graph(
+            arrays, meta["next_vertex"], meta["next_edge"]
+        )
+
+    seq = int(meta["seq"])
+    chain = str(meta["chain"])
+    replayed = 0
+    journal_path = os.path.join(directory, f"journal-{generation:06d}.jsonl")
+    lines: List[str] = []
+    try:
+        with open(journal_path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        raw = ""
+    if raw:
+        complete, sep, tail = raw.rpartition("\n")
+        lines = complete.split("\n") if complete else []
+        if not sep:
+            lines = []  # single torn line, no newline ever hit disk
+        # ``tail`` (text after the final newline) is a torn line from a
+        # crash mid-write: the batch was never acknowledged, drop it.
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if lineno == len(lines):
+                break  # torn final line (crash between write and fsync)
+            raise GraphError(
+                f"corrupt journal line {lineno} in {journal_path}"
+            ) from None
+        stored_chain = record.pop("chain", None)
+        expected = chain_digest(chain, record)
+        if stored_chain != expected:
+            raise GraphError(
+                f"journal chain mismatch at line {lineno} in "
+                f"{journal_path}: batch seq {record.get('seq')} does not "
+                f"extend the checkpoint's chain"
+            )
+        if int(record["seq"]) != seq + 1:
+            raise GraphError(
+                f"journal sequence gap at line {lineno} in {journal_path}: "
+                f"expected seq {seq + 1}, found {record.get('seq')}"
+            )
+        for eid in record.get("deletes", ()):
+            graph.remove_edge(int(eid))
+        for u, v in record.get("inserts", ()):
+            graph.add_edge(int(u), int(v))
+        chain = expected
+        seq += 1
+        replayed += 1
+
+    config = DecompositionConfig.from_json(meta["config"])
+    watches = [
+        (
+            entry["task"],
+            DecompositionConfig.from_json(entry["config"]),
+            dict(entry.get("kwargs", {})),
+        )
+        for entry in meta.get("watches", [])
+    ]
+    return RestoredState(
+        graph=graph,
+        config=config,
+        watches=watches,
+        seq=seq,
+        chain=chain,
+        generation=generation,
+        replayed=replayed,
+        server_meta=dict(meta.get("server", {})),
+    )
+
+
+def restore_session(restored: RestoredState):
+    """Build a live :class:`~repro.core.session.Session` from a
+    :class:`RestoredState`: re-create the session, re-run every watch
+    on the restored graph (bit-identical to the pre-crash results by
+    the delta engine's purity contract), and seed the journal position
+    so the chain continues where the crash left it."""
+    from ..core.session import Session
+
+    session = Session(restored.graph, restored.config)
+    state = ensure_delta_state(session)
+    for task, config, kwargs in restored.watches:
+        session.watch(task, config=config, **kwargs)
+    state.seq = restored.seq
+    state.chain = restored.chain if restored.chain else JOURNAL_CHAIN_SEED
+    state.fingerprint = session.fingerprint()
+    return session
+
+
+# Attached for discoverability: ``Checkpointer.load`` mirrors the
+# module-level function (classmethod-style entry used by the daemon).
+Checkpointer.load = staticmethod(load)  # type: ignore[attr-defined]

@@ -1,0 +1,160 @@
+"""Client for the ``repro serve`` daemon.
+
+A thin wrapper over the line-delimited-JSON protocol
+(:mod:`repro.service.server`): one persistent socket, one JSON object
+per line each way, responses matched to requests by strict in-order
+delivery.  Errors come back as ``{"ok": false, ...}`` and are raised
+as :class:`ServeError` carrying the daemon-side error kind.
+
+    with ServeClient("127.0.0.1", 7341) as client:
+        client.load_graph(edges=[(0, 1), (1, 2)], n=3)
+        client.watch("orientation", method="hpartition")
+        report = client.apply_delta(inserts=[(0, 2)])
+        current = client.current("orientation")
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """A daemon-side failure, re-raised client-side.
+
+    ``kind`` carries the daemon's error class name (``GraphError``,
+    ``ValidationError``, ``InternalError``, ...).
+    """
+
+    def __init__(self, message: str, kind: str = "ServeError") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class ServeClient:
+    """One connection to a running daemon (context-manager friendly)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire ----------------------------------------------------------
+
+    def request(self, op: str, **payload: Any) -> Dict[str, Any]:
+        """One round-trip; returns the response dict (``ok`` true) or
+        raises :class:`ServeError`."""
+        self._next_id += 1
+        message = {"op": op, "id": self._next_id}
+        message.update(payload)
+        self._sock.sendall(
+            (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        )
+        raw = self._rfile.readline()
+        if not raw:
+            raise ServeError(
+                f"daemon closed the connection during {op!r}", "ConnectionLost"
+            )
+        response = json.loads(raw.decode("utf-8"))
+        if not response.get("ok"):
+            raise ServeError(
+                response.get("error", "unknown daemon error"),
+                response.get("error_kind", "ServeError"),
+            )
+        return response
+
+    # -- convenience ops ----------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def load_graph(
+        self,
+        edges: Optional[Sequence[Tuple[int, int]]] = None,
+        n: Optional[int] = None,
+        path: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if path is not None:
+            payload["path"] = path
+        if edges is not None:
+            payload["edges"] = [[int(u), int(v)] for u, v in edges]
+        if n is not None:
+            payload["n"] = int(n)
+        if config is not None:
+            payload["config"] = config
+        return self.request("load_graph", **payload)
+
+    def watch(
+        self,
+        task: str,
+        config: Optional[Dict[str, Any]] = None,
+        **kwargs: Any,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"task": task, "kwargs": kwargs}
+        if config is not None:
+            payload["config"] = config
+        return self.request("watch", **payload)
+
+    def unwatch(self, task: Optional[str] = None) -> Dict[str, Any]:
+        payload = {} if task is None else {"task": task}
+        return self.request("unwatch", **payload)
+
+    def apply_delta(
+        self,
+        inserts: Iterable[Tuple[int, int]] = (),
+        deletes: Iterable[int] = (),
+    ) -> Dict[str, Any]:
+        return self.request(
+            "apply_delta",
+            inserts=[[int(u), int(v)] for u, v in inserts],
+            deletes=[int(e) for e in deletes],
+        )
+
+    def query(
+        self,
+        task: str,
+        config: Optional[Dict[str, Any]] = None,
+        include: str = "summary",
+        **kwargs: Any,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "task": task, "kwargs": kwargs, "include": include
+        }
+        if config is not None:
+            payload["config"] = config
+        return self.request("query", **payload)
+
+    def current(self, task: str, include: str = "summary") -> Dict[str, Any]:
+        return self.request("current", task=task, include=include)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self.request("checkpoint")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")

@@ -1,0 +1,985 @@
+"""The delta engine: maintain decompositions under edge-stream mutations.
+
+Harris–Su–Vu's locality is what makes this possible: the H-partition
+wave of a vertex is the *unique* fixed point of the local equation
+
+    wave(v) = 1                                    if deg(v) <= t
+    wave(v) = 1 + ((t+1)-th largest neighbor wave) otherwise
+
+(uniqueness by the forced-set induction ``S_1 = V``,
+``S_{i+1} = { v : deg_{S_i}(v) > t }`` — every solution's superlevel
+sets coincide with the peel's).  So after an edge insert/delete only
+the endpoints can violate their equation, and a worklist relaxation
+that re-evaluates dirty vertices until quiescence is **provably equal
+to a from-scratch peel** — which is the hard contract of
+:meth:`~repro.core.session.Session.apply_delta`: the post-delta result
+is bit-identical to a full recompute on the mutated graph, in every
+``delta_mode``.
+
+Layers in this module:
+
+* :func:`patched_snapshot` — rebuild the CSR snapshot in
+  O(m) array ops (mask deleted positions, append inserts, re-run the
+  shared counting-sort assembly) instead of re-walking the MultiGraph's
+  dicts; byte-identical arrays to ``CSRGraph.from_multigraph``.
+* :func:`repair_waves` — the dirty-cascade worklist over the snapshot,
+  one vectorized order-statistic evaluation per wave
+  (:func:`repro.parallel.bfs.segment_kth_largest`), fanned through the
+  shared :class:`~repro.parallel.engine.WaveEngine` when a frontier is
+  wide enough; aborts (returning None) when the dirty fraction crosses
+  the configured threshold so the caller falls back to a full peel.
+* :class:`SessionWaveOracle` — the per-graph cache ``h_partition``
+  consults (see :func:`repro.decomposition.hpartition.install_wave_oracle`);
+  the delta engine repairs its entries in place.
+* task refreshers for ``orientation`` / ``pseudoforest`` (method
+  ``"hpartition"``), registered on the task registry via
+  :func:`repro.core.registry.set_task_delta`: they patch the
+  orientation dict for dirty-incident edges only and re-fold the
+  pseudoforest indices vectorized.  Tasks without a refresher fall back
+  to a full ``session.decompose`` (trivially bit-identical, still
+  accelerated by the patched snapshot and the wave oracle).
+* the session-facing entry points :func:`watch_task`,
+  :func:`apply_delta`, and the O(|delta|)-maintained
+  :func:`content_digest` (a multiset blake2b sum over edges plus a
+  blake2b chain over the delta journal).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.csr import CSRGraph, _concat_ranges, _half_edge_csr, mutation_fingerprint
+from ..decomposition.hpartition import (
+    default_threshold,
+    install_wave_oracle,
+    uninstall_wave_oracle,
+)
+from ..local.rounds import ensure_counter
+from ..parallel.bfs import segment_kth_largest
+from ..parallel.engine import FAN_OUT_MIN_HALF_EDGES
+from ..core.algorithm_stats import TaskStats
+from ..core.config import DecompositionConfig
+from ..core.registry import get_task, set_task_delta
+from ..core.results import OrientationResult, PseudoforestResult
+
+__all__ = [
+    "DeltaInfo",
+    "DeltaReport",
+    "WatchReport",
+    "WatchState",
+    "SessionWaveOracle",
+    "apply_delta",
+    "content_digest",
+    "chain_digest",
+    "patched_snapshot",
+    "repair_waves",
+    "watch_task",
+    "JOURNAL_CHAIN_SEED",
+]
+
+#: the chain digest every session/journal starts from (generation 0)
+JOURNAL_CHAIN_SEED = hashlib.blake2b(
+    b"repro-delta-journal-v1", digest_size=32
+).hexdigest()
+
+_DIGEST_MOD = 1 << 256
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WatchReport:
+    """How one watched task was refreshed by a delta batch."""
+
+    task: str
+    mode: str  # "incremental" | "full"
+    wall_ms: float
+    reason: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "task": self.task,
+            "mode": self.mode,
+            "wall_ms": round(self.wall_ms, 3),
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class DeltaReport:
+    """Outcome of one :meth:`Session.apply_delta` batch."""
+
+    seq: int
+    inserted: Tuple[int, ...]  # edge ids assigned to the inserts
+    deleted: Tuple[int, ...]
+    delta_mode: str
+    dirty_vertices: int
+    dirty_fraction: float
+    #: dirty vertex count per shard of the session's shard plan (the
+    #: worst repaired threshold); empty when nothing was repaired
+    shard_dirty: Tuple[int, ...]
+    watches: List[WatchReport]
+    wall_ms: float
+    chain: str
+    fingerprint: Tuple[int, int, int]
+
+    @property
+    def mode(self) -> str:
+        """``"incremental"`` iff every watched task was repaired
+        incrementally (vacuously true with no watches)."""
+        if all(w.mode == "incremental" for w in self.watches):
+            return "incremental"
+        return "full"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "inserted": list(self.inserted),
+            "deleted": list(self.deleted),
+            "mode": self.mode,
+            "delta_mode": self.delta_mode,
+            "dirty_vertices": self.dirty_vertices,
+            "dirty_fraction": round(self.dirty_fraction, 6),
+            "shard_dirty": list(self.shard_dirty),
+            "watches": [w.to_json() for w in self.watches],
+            "wall_ms": round(self.wall_ms, 3),
+            "chain": self.chain,
+            "fingerprint": list(self.fingerprint),
+        }
+
+
+@dataclass
+class WatchState:
+    """One maintained decomposition: the task, its frozen knobs, and
+    the most recent result (always equal to a fresh recompute)."""
+
+    task: str
+    config: DecompositionConfig
+    resolved_config: DecompositionConfig
+    kwargs: Dict[str, Any]
+    result: Any
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class DeltaInfo:
+    """What one delta batch did to the graph — the refresher's input."""
+
+    inserts: Tuple[Tuple[int, int, int], ...]  # (eid, u, v)
+    deletes: Tuple[Tuple[int, int, int], ...]
+    old_snapshot: Optional[CSRGraph]
+    new_snapshot: CSRGraph
+    kept_mask: Optional[np.ndarray]
+    #: threshold -> ascending dense indices whose wave changed (present
+    #: only for thresholds whose repair succeeded this batch)
+    changed_by_threshold: Dict[int, np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Snapshot patching
+# ----------------------------------------------------------------------
+
+
+class _LazyEidPos:
+    """Deferred ``edge id -> dense position`` mapping for patched
+    snapshots.
+
+    Building the dict eagerly costs O(m) Python-object work per delta
+    batch — the single largest line in the incremental path — yet the
+    delta engine itself never reads it: only full-decompose consumers
+    (``edge_positions`` / ``endpoints`` / ``endpoint_maps``) do, and
+    only when edge ids are non-dense.  So the dict materializes on
+    first lookup instead.  Snapshots are immutable, so the mapping
+    never invalidates once built.
+    """
+
+    __slots__ = ("_edge_id", "_map")
+
+    def __init__(self, edge_id: np.ndarray) -> None:
+        self._edge_id = edge_id
+        self._map: Optional[Dict[int, int]] = None
+
+    def _materialize(self) -> Dict[int, int]:
+        if self._map is None:
+            eids = self._edge_id.tolist()
+            self._map = dict(zip(eids, range(len(eids))))
+        return self._map
+
+    def __getitem__(self, eid: int) -> int:
+        return self._materialize()[eid]
+
+    def get(self, eid, default=None):
+        return self._materialize().get(eid, default)
+
+    def __contains__(self, eid) -> bool:
+        return eid in self._materialize()
+
+    def __len__(self) -> int:
+        return int(self._edge_id.shape[0])
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+
+def patched_snapshot(
+    old: CSRGraph,
+    graph,
+    inserts: Sequence[Tuple[int, int, int]],
+    deletes: Sequence[Tuple[int, int, int]],
+) -> Tuple[CSRGraph, Optional[np.ndarray]]:
+    """Rebuild ``graph``'s snapshot from the previous one in O(m)
+    array work; returns ``(snapshot, kept_mask)``.
+
+    Byte-identical to ``CSRGraph.from_multigraph(graph)``: the
+    MultiGraph's edge dict preserves insertion order, so the mutated
+    edge list is exactly "old order minus the deleted positions, plus
+    the inserts appended" — and both paths run the same stable
+    counting-sort CSR assembly.  Requires an unchanged vertex set
+    (``apply_delta`` guarantees it; anything else takes the full
+    rebuild path).
+    """
+    if old.num_vertices != graph.n:
+        snap = CSRGraph.from_multigraph(graph)
+        return snap, None
+    keep = np.ones(old.num_edges, dtype=bool)
+    if deletes:
+        del_ids = np.asarray(sorted(d[0] for d in deletes), dtype=np.int64)
+        # edge ids are assigned monotonically, so old.edge_id ascends
+        keep[np.searchsorted(old.edge_id, del_ids)] = False
+    index_of = old._index_of
+    ins_eid = np.asarray([i[0] for i in inserts], dtype=np.int64)
+    if index_of is None:
+        ins_u = np.asarray([i[1] for i in inserts], dtype=np.int64)
+        ins_v = np.asarray([i[2] for i in inserts], dtype=np.int64)
+    else:
+        ins_u = np.asarray(
+            [index_of[i[1]] for i in inserts], dtype=np.int64
+        )
+        ins_v = np.asarray(
+            [index_of[i[2]] for i in inserts], dtype=np.int64
+        )
+    edge_id = np.concatenate((old.edge_id[keep], ins_eid))
+    edge_u = np.concatenate((old.edge_u[keep], ins_u))
+    edge_v = np.concatenate((old.edge_v[keep], ins_v))
+    m = int(edge_id.shape[0])
+    identity_edges = bool(
+        m == 0 or np.array_equal(edge_id, np.arange(m, dtype=np.int64))
+    )
+    eid_pos = None if identity_edges else _LazyEidPos(edge_id)
+    offsets, neighbor_ids, edge_ids = _half_edge_csr(
+        old.num_vertices, edge_u, edge_v, edge_id
+    )
+    snap = CSRGraph(
+        old.vertex_ids,
+        offsets,
+        neighbor_ids,
+        edge_ids,
+        edge_u,
+        edge_v,
+        edge_id,
+        index_of,
+        eid_pos,
+    )
+    return snap, keep
+
+
+# ----------------------------------------------------------------------
+# Wave repair
+# ----------------------------------------------------------------------
+
+
+def _frontier_wave_values(
+    offsets: np.ndarray,
+    neighbors: np.ndarray,
+    waves: np.ndarray,
+    frontier: np.ndarray,
+    threshold: int,
+    engine_factory=None,
+) -> np.ndarray:
+    """Evaluate the fixed-point equation for an ascending frontier."""
+
+    def kernel(part: np.ndarray) -> np.ndarray:
+        starts = offsets[part]
+        ends = offsets[part + 1]
+        half = _concat_ranges(starts, ends)
+        kth = segment_kth_largest(
+            waves[neighbors[half]], ends - starts, threshold, fill=0
+        )
+        return kth + 1
+
+    if engine_factory is not None:
+        cost = int((offsets[frontier + 1] - offsets[frontier]).sum())
+        if cost >= FAN_OUT_MIN_HALF_EDGES:
+            engine = engine_factory()
+            if engine is not None:
+                return engine.gather(kernel, frontier, cost)
+    return kernel(frontier)
+
+
+def repair_waves(
+    snapshot: CSRGraph,
+    waves: np.ndarray,
+    seeds: np.ndarray,
+    threshold: int,
+    max_dirty: int,
+    engine_factory=None,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Worklist repair of an H-partition wave assignment.
+
+    ``waves`` must satisfy the fixed-point equation everywhere except
+    possibly at ``seeds`` (the dense indices incident to the delta).
+    Relaxes until quiescence and returns ``(repaired waves, ascending
+    changed indices)``; returns None when more than ``max_dirty``
+    vertices change (the dirty-fraction fallback) or the iteration cap
+    trips.  On success the result *is* the full peel's assignment —
+    the fixed point is unique (see the module docstring).
+    """
+    offsets = snapshot.vertex_offsets
+    neighbors = snapshot.neighbor_ids
+    n = snapshot.num_vertices
+    waves = waves.copy()
+    changed_mask = np.zeros(n, dtype=bool)
+    total_changed = 0
+    frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+    if frontier.size and (frontier[0] < 0 or frontier[-1] >= n):
+        raise GraphError("wave-repair seed index out of range")
+    cap = 4 * n + 8
+    steps = 0
+    while frontier.size:
+        steps += 1
+        if steps > cap:
+            return None
+        new_vals = _frontier_wave_values(
+            offsets, neighbors, waves, frontier, threshold, engine_factory
+        )
+        diff = new_vals != waves[frontier]
+        changed = frontier[diff]
+        if changed.size == 0:
+            break
+        waves[changed] = new_vals[diff]
+        newly = changed[~changed_mask[changed]]
+        changed_mask[newly] = True
+        total_changed += int(newly.size)
+        if total_changed > max_dirty:
+            return None
+        half = _concat_ranges(offsets[changed], offsets[changed + 1])
+        frontier = np.unique(neighbors[half])
+    return waves, np.flatnonzero(changed_mask)
+
+
+class SessionWaveOracle:
+    """Per-graph cache of peel wave labels, one entry per threshold.
+
+    ``h_partition`` consults :meth:`lookup` before peeling (returning a
+    fresh classes dict on a fingerprint hit, charging the same number
+    of rounds the peel would) and feeds :meth:`record` after a real
+    peel; :func:`apply_delta` repairs every entry in place per batch.
+    LRU-bounded so a session sweeping many epsilons stays small.
+    """
+
+    MAX_THRESHOLDS = 8
+
+    class Entry:
+        __slots__ = ("fingerprint", "waves", "classes")
+
+        def __init__(self, fingerprint, waves, classes):
+            self.fingerprint = fingerprint
+            self.waves = waves  # dense-index wave array
+            self.classes = classes  # vertex id -> wave
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.entries: "OrderedDict[int, SessionWaveOracle.Entry]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.repairs = 0
+        self.fallbacks = 0
+
+    def lookup(self, graph, threshold: int):
+        if graph is not self.graph:
+            return None
+        entry = self.entries.get(threshold)
+        if (
+            entry is None
+            or entry.fingerprint != mutation_fingerprint(graph)
+        ):
+            self.misses += 1
+            return None
+        self.entries.move_to_end(threshold)
+        self.hits += 1
+        return dict(entry.classes)
+
+    def record(self, graph, threshold: int, classes: Dict[int, int]) -> None:
+        if graph is not self.graph:
+            return
+        from ..graph.csr import snapshot_of
+
+        snap = snapshot_of(graph)
+        waves = np.fromiter(
+            (classes[v] for v in snap.vertex_ids.tolist()),
+            dtype=np.int64,
+            count=snap.num_vertices,
+        )
+        self.entries[threshold] = SessionWaveOracle.Entry(
+            mutation_fingerprint(graph), waves, dict(classes)
+        )
+        self.entries.move_to_end(threshold)
+        while len(self.entries) > self.MAX_THRESHOLDS:
+            self.entries.popitem(last=False)
+
+    def entry(self, threshold: int, fingerprint=None):
+        entry = self.entries.get(threshold)
+        if entry is None:
+            return None
+        if fingerprint is not None and entry.fingerprint != fingerprint:
+            return None
+        return entry
+
+    def drop(self, threshold: int) -> None:
+        self.entries.pop(threshold, None)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "thresholds": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "repairs": self.repairs,
+            "fallbacks": self.fallbacks,
+        }
+
+
+# ----------------------------------------------------------------------
+# Session delta state
+# ----------------------------------------------------------------------
+
+
+class DeltaState:
+    """Everything :meth:`Session.apply_delta` keeps between batches."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.oracle = SessionWaveOracle(session.graph)
+        install_wave_oracle(session.graph, self.oracle)
+        self.seq = 0
+        self.chain = JOURNAL_CHAIN_SEED
+        #: fingerprint after the last batch (None = never synced)
+        self.fingerprint: Optional[Tuple[int, int, int]] = None
+        #: multiset digest sums, valid iff digest_fp matches the graph
+        self.digest_fp: Optional[Tuple[int, int, int]] = None
+        self.edge_sum = 0
+        self.vertex_sum = 0
+
+    def close(self) -> None:
+        uninstall_wave_oracle(self.session.graph)
+
+
+def ensure_delta_state(session) -> DeltaState:
+    state = getattr(session, "_delta_state", None)
+    if state is None or state.session is not session:
+        state = DeltaState(session)
+        session._delta_state = state
+    return state
+
+
+# ----------------------------------------------------------------------
+# Content digest (O(|delta|) maintained) and journal chaining
+# ----------------------------------------------------------------------
+
+
+def _token(payload: bytes) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=32).digest(), "big"
+    )
+
+
+def _edge_token(eid: int, u: int, v: int) -> int:
+    return _token(b"e:%d:%d:%d" % (eid, u, v))
+
+
+def _vertex_token(v: int) -> int:
+    return _token(b"v:%d" % v)
+
+
+def _resync_digest(state: DeltaState) -> None:
+    graph = state.session.graph
+    state.vertex_sum = (
+        sum(_vertex_token(v) for v in graph._adj) % _DIGEST_MOD
+    )
+    state.edge_sum = (
+        sum(
+            _edge_token(eid, u, v)
+            for eid, (u, v) in graph._edges.items()
+        )
+        % _DIGEST_MOD
+    )
+    state.digest_fp = mutation_fingerprint(graph)
+
+
+def content_digest(session) -> str:
+    """A digest of the graph's full content (vertex set + edge
+    multiset with ids), maintained in O(|delta|) per
+    :meth:`Session.apply_delta` batch.
+
+    Edges and vertices contribute independent blake2b tokens summed
+    mod 2**256, so inserts add and deletes subtract — the maintained
+    value always equals a from-scratch recomputation (which only runs
+    when the graph was mutated outside ``apply_delta``).
+    """
+    state = ensure_delta_state(session)
+    if state.digest_fp != mutation_fingerprint(session.graph):
+        _resync_digest(state)
+    graph = session.graph
+    head = "repro-content-v1:%d:%d:%d:%d:%064x:%064x" % (
+        graph.n,
+        graph.m,
+        graph._next_edge,
+        graph._next_vertex,
+        state.vertex_sum,
+        state.edge_sum,
+    )
+    return hashlib.blake2b(head.encode(), digest_size=32).hexdigest()
+
+
+def chain_digest(prev: str, payload: Dict[str, Any]) -> str:
+    """One blake2b link of the delta-journal chain: the previous chain
+    value concatenated with the batch's canonical JSON."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(
+        (prev + canonical).encode(), digest_size=32
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Watching
+# ----------------------------------------------------------------------
+
+
+def watch_task(session, task: str, config, kwargs: Dict[str, Any]):
+    """Run ``task`` once and register it for delta maintenance."""
+    state = ensure_delta_state(session)
+    spec = get_task(task)
+    cfg = config if config is not None else session.config
+    result = session.decompose(task, config=cfg, **kwargs)
+    ws = WatchState(
+        task=task,
+        config=cfg,
+        resolved_config=cfg.with_defaults(spec.default_epsilon),
+        kwargs=dict(kwargs),
+        result=result,
+        extras={},
+    )
+    _prime_watch_extras(session, state, ws)
+    session._watches[task] = ws
+    if state.fingerprint is None:
+        state.fingerprint = session.fingerprint()
+    return result
+
+
+def _watch_options(ws: WatchState) -> Dict[str, Any]:
+    """The task kwargs the dispatcher would see: ``config.options``
+    overlaid with the watch's direct kwargs (direct wins)."""
+    merged = dict(ws.resolved_config.options)
+    merged.update(ws.kwargs)
+    return merged
+
+
+def _watch_threshold(session, ws: WatchState) -> Optional[int]:
+    """The peel threshold this watch's hpartition run uses (None when
+    the watch is not an hpartition-method orientation/pseudoforest)."""
+    if ws.task not in ("orientation", "pseudoforest"):
+        return None
+    merged = _watch_options(ws)
+    if merged.get("method") != "hpartition":
+        return None
+    pseudo = merged.get("pseudoarboricity")
+    if pseudo is None:
+        pseudo = session.pseudoarboricity()
+    return max(1, default_threshold(pseudo, ws.resolved_config.epsilon))
+
+
+def _tails_arrays(
+    snap: CSRGraph, waves: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized Theorem 2.1(2) rule over every edge: returns
+    ``(tail vertex ids, tail dense indices)`` per edge position —
+    exactly :func:`~repro.decomposition.hpartition.acyclic_orientation`'s
+    ``u_wins`` comparison."""
+    cu = waves[snap.edge_u]
+    cv = waves[snap.edge_v]
+    u_wins = (cu < cv) | ((cu == cv) & (snap.edge_u_ids < snap.edge_v_ids))
+    tails_ids = np.where(u_wins, snap.edge_u_ids, snap.edge_v_ids)
+    tails_idx = np.where(u_wins, snap.edge_u, snap.edge_v)
+    return tails_ids, tails_idx
+
+
+def _prime_watch_extras(session, state: DeltaState, ws: WatchState) -> None:
+    """Seed the per-watch incremental scratch (the orientation dict the
+    refreshers patch) after a full run."""
+    ws.extras.clear()
+    threshold = _watch_threshold(session, ws)
+    if threshold is None:
+        return
+    entry = state.oracle.entry(threshold, session.fingerprint())
+    if entry is None:
+        return
+    ws.extras["threshold"] = threshold
+    if ws.task == "orientation":
+        ws.extras["orientation"] = ws.result.orientation
+    else:
+        snap = session.snapshot()
+        tails_ids, _tails_idx = _tails_arrays(snap, entry.waves)
+        ws.extras["orientation"] = dict(
+            zip(snap.edge_id.tolist(), tails_ids.tolist())
+        )
+
+
+# ----------------------------------------------------------------------
+# Task refreshers
+# ----------------------------------------------------------------------
+
+
+def _patched_orientation(
+    session, ws: WatchState, info: DeltaInfo
+) -> Optional[Tuple[Dict[int, int], np.ndarray, int]]:
+    """Shared incremental core of the orientation/pseudoforest
+    refreshers: returns ``(orientation dict, tail dense indices per
+    edge position, threshold)`` or None when repair is impossible."""
+    state = getattr(session, "_delta_state", None)
+    if state is None:
+        return None
+    previous = ws.extras.get("orientation")
+    if previous is None:
+        return None
+    threshold = _watch_threshold(session, ws)
+    if threshold is None or threshold != ws.extras.get("threshold"):
+        return None
+    changed = info.changed_by_threshold.get(threshold)
+    if changed is None:
+        return None
+    entry = state.oracle.entry(threshold, session.fingerprint())
+    if entry is None:
+        return None
+    snap = info.new_snapshot
+    tails_ids, tails_idx = _tails_arrays(snap, entry.waves)
+    orientation = dict(previous)
+    for eid, _u, _v in info.deletes:
+        orientation.pop(eid, None)
+    num_inserted = len(info.inserts)
+    m = snap.num_edges
+    if changed.size:
+        dirty = np.zeros(snap.num_vertices, dtype=bool)
+        dirty[changed] = True
+        affected = np.flatnonzero(dirty[snap.edge_u] | dirty[snap.edge_v])
+    else:
+        affected = np.empty(0, dtype=np.int64)
+    if num_inserted:
+        affected = np.union1d(
+            affected, np.arange(m - num_inserted, m, dtype=np.int64)
+        )
+    for eid, tail in zip(
+        snap.edge_id[affected].tolist(), tails_ids[affected].tolist()
+    ):
+        orientation[eid] = tail
+    return orientation, tails_idx, threshold
+
+
+def _refresh_orientation(session, ws: WatchState, info: DeltaInfo):
+    patched = _patched_orientation(session, ws, info)
+    if patched is None:
+        return None
+    orientation, _tails_idx, threshold = patched
+    ws.extras["orientation"] = orientation
+    counter = ensure_counter(None)
+    counter.charge(1, "delta: orientation patch")
+    return OrientationResult(
+        orientation, threshold, rounds=counter, stats=TaskStats(),
+        graph=session.graph,
+    )
+
+
+def _fold_pseudoforests(
+    edge_id: np.ndarray, tails_idx: np.ndarray
+) -> Dict[int, int]:
+    """Vectorized equivalent of
+    :func:`~repro.nashwilliams.pseudoarboricity.
+    pseudoforest_decomposition_from_orientation`: rank each edge among
+    its tail's out-edges in ascending edge-id order (edge positions
+    ascend by id, so a stable argsort by tail gives the running
+    index)."""
+    m = int(edge_id.shape[0])
+    if m == 0:
+        return {}
+    order = np.argsort(tails_idx, kind="stable")
+    sorted_tails = tails_idx[order]
+    boundary = np.empty(m, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_tails[1:], sorted_tails[:-1], out=boundary[1:])
+    group_starts = np.flatnonzero(boundary)
+    start_per_item = group_starts[np.cumsum(boundary) - 1]
+    ranks = np.arange(m, dtype=np.int64) - start_per_item
+    k = np.empty(m, dtype=np.int64)
+    k[order] = ranks
+    return dict(zip(edge_id.tolist(), k.tolist()))
+
+
+def _refresh_pseudoforest(session, ws: WatchState, info: DeltaInfo):
+    patched = _patched_orientation(session, ws, info)
+    if patched is None:
+        return None
+    orientation, tails_idx, threshold = patched
+    ws.extras["orientation"] = orientation
+    coloring = _fold_pseudoforests(info.new_snapshot.edge_id, tails_idx)
+    counter = ensure_counter(None)
+    counter.charge(1, "delta: orientation patch + fold")
+    return PseudoforestResult(
+        coloring, threshold, rounds=counter, stats=TaskStats(),
+        graph=session.graph,
+    )
+
+
+set_task_delta("orientation", _refresh_orientation)
+set_task_delta("pseudoforest", _refresh_pseudoforest)
+
+
+# ----------------------------------------------------------------------
+# apply_delta
+# ----------------------------------------------------------------------
+
+
+def _validate_batch(graph, inserts, deletes):
+    """Pre-validate the whole batch so a bad edit leaves the graph
+    untouched (apply_delta is atomic per batch)."""
+    ins = [(int(u), int(v)) for u, v in inserts]
+    dels = [int(e) for e in deletes]
+    if len(set(dels)) != len(dels):
+        raise GraphError("duplicate edge ids in delete batch")
+    del_records = []
+    for eid in dels:
+        u, v = graph.endpoints(eid)  # raises GraphError when missing
+        del_records.append((eid, u, v))
+    for u, v in ins:
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u} is not allowed")
+        for vertex in (u, v):
+            if not graph.has_vertex(vertex):
+                raise GraphError(f"vertex {vertex} does not exist")
+    return ins, del_records
+
+
+def _seed_indices(snap: CSRGraph, info_edges) -> np.ndarray:
+    ids = set()
+    for _eid, u, v in info_edges:
+        ids.add(u)
+        ids.add(v)
+    if not ids:
+        return np.empty(0, dtype=np.int64)
+    index_of = snap._index_of
+    if index_of is None:
+        idx = np.fromiter(ids, dtype=np.int64, count=len(ids))
+    else:
+        idx = np.fromiter(
+            (index_of[v] for v in ids), dtype=np.int64, count=len(ids)
+        )
+    return np.unique(idx)
+
+
+def _shard_dirty_counts(session, changed: np.ndarray) -> Tuple[int, ...]:
+    """Dirty vertices per shard of the session's cached plan."""
+    if changed.size == 0:
+        return ()
+    plan = session.shard_plan()
+    positions = np.searchsorted(changed, plan.boundaries)
+    return tuple(int(c) for c in np.diff(positions))
+
+
+def apply_delta(
+    session,
+    inserts: Sequence[Tuple[int, int]] = (),
+    deletes: Sequence[int] = (),
+    config: Optional[DecompositionConfig] = None,
+) -> DeltaReport:
+    """Apply one batch of edge mutations and refresh every watched
+    decomposition (see :meth:`Session.apply_delta` for the contract)."""
+    start = time.perf_counter()
+    state = ensure_delta_state(session)
+    graph = session.graph
+    cfg = config if config is not None else session.config
+    if not isinstance(cfg, DecompositionConfig):
+        raise GraphError(
+            f"config must be a DecompositionConfig, got {type(cfg).__name__}"
+        )
+    mode = cfg.delta_mode
+
+    ins, del_records = _validate_batch(graph, inserts, deletes)
+
+    old_fp = mutation_fingerprint(graph)
+    cached = graph.__dict__.get("_csr_snapshot_cache")
+    old_snap = cached[1] if cached is not None and cached[0] == old_fp else None
+    digest_live = state.digest_fp == old_fp
+
+    # -- mutate -------------------------------------------------------
+    for eid, _u, _v in del_records:
+        graph.remove_edge(eid)
+    ins_records = tuple((graph.add_edge(u, v), u, v) for u, v in ins)
+    del_records = tuple(del_records)
+    new_fp = mutation_fingerprint(graph)
+
+    # -- O(|delta|) digest maintenance --------------------------------
+    if digest_live:
+        delta_sum = 0
+        for eid, u, v in ins_records:
+            delta_sum += _edge_token(eid, u, v)
+        for eid, u, v in del_records:
+            delta_sum -= _edge_token(eid, u, v)
+        state.edge_sum = (state.edge_sum + delta_sum) % _DIGEST_MOD
+        state.digest_fp = new_fp
+
+    # -- snapshot patch -----------------------------------------------
+    if old_snap is not None:
+        new_snap, kept = patched_snapshot(
+            old_snap, graph, ins_records, del_records
+        )
+    else:
+        new_snap = CSRGraph.from_multigraph(graph)
+        kept = None
+    graph.__dict__["_csr_snapshot_cache"] = (new_fp, new_snap)
+
+    # -- wave repair over every cached threshold ----------------------
+    n = new_snap.num_vertices
+    changed_by_threshold: Dict[int, np.ndarray] = {}
+    oracle = state.oracle
+    if mode == "full":
+        max_dirty = -1
+    elif mode == "incremental":
+        max_dirty = n + 1
+    else:
+        max_dirty = int(cfg.delta_threshold * n)
+    seeds = _seed_indices(new_snap, ins_records + del_records)
+
+    def engine_factory():
+        try:
+            return session.wave_engine()
+        except Exception:
+            return None
+
+    for threshold in list(oracle.entries.keys()):
+        entry = oracle.entries[threshold]
+        if entry.fingerprint != old_fp or mode == "full":
+            oracle.drop(threshold)
+            continue
+        repaired = repair_waves(
+            new_snap, entry.waves, seeds, threshold, max_dirty,
+            engine_factory,
+        )
+        if repaired is None:
+            oracle.fallbacks += 1
+            oracle.drop(threshold)
+            continue
+        waves, changed = repaired
+        entry.waves = waves
+        vertex_ids = new_snap.vertex_ids
+        for idx in changed.tolist():
+            entry.classes[int(vertex_ids[idx])] = int(waves[idx])
+        entry.fingerprint = new_fp
+        oracle.repairs += 1
+        changed_by_threshold[threshold] = changed
+
+    info = DeltaInfo(
+        inserts=ins_records,
+        deletes=del_records,
+        old_snapshot=old_snap,
+        new_snapshot=new_snap,
+        kept_mask=kept,
+        changed_by_threshold=changed_by_threshold,
+    )
+
+    # -- refresh watches ----------------------------------------------
+    watch_reports: List[WatchReport] = []
+    for task, ws in session._watches.items():
+        spec = get_task(task)
+        t0 = time.perf_counter()
+        result = None
+        wmode = "full"
+        reason = ""
+        if spec.delta is not None and mode != "full":
+            result = spec.delta(session, ws, info)
+            if result is not None:
+                wmode = "incremental"
+        if result is None:
+            if mode == "full":
+                reason = "delta_mode=full"
+            elif spec.delta is None:
+                reason = "no incremental refresher"
+            else:
+                reason = "refresher fell back"
+            result = session.decompose(task, config=ws.config, **ws.kwargs)
+            # Bind the fresh result BEFORE priming: the orientation
+            # watch's patch base is read off ws.result, and priming
+            # against the stale one would leave the next incremental
+            # batch patching on top of a pre-fallback orientation.
+            ws.result = result
+            _prime_watch_extras(session, state, ws)
+        else:
+            resolved = ws.resolved_config
+            if result.graph is None:
+                result.graph = graph
+            result.config = resolved
+            session._record_passes(result)
+            if resolved.validation != "none":
+                result.validate(level=resolved.validation)
+        ws.result = result
+        watch_reports.append(
+            WatchReport(
+                task=task,
+                mode=wmode,
+                wall_ms=(time.perf_counter() - t0) * 1000.0,
+                reason=reason,
+            )
+        )
+
+    # -- journal chain + report ---------------------------------------
+    state.seq += 1
+    payload = {
+        "seq": state.seq,
+        "inserts": [[u, v] for u, v in ins],
+        "deletes": [eid for eid, _u, _v in del_records],
+    }
+    state.chain = chain_digest(state.chain, payload)
+    state.fingerprint = new_fp
+
+    dirty = max(
+        (int(c.size) for c in changed_by_threshold.values()), default=0
+    )
+    worst = max(
+        changed_by_threshold.values(), key=lambda c: c.size, default=None
+    ) if changed_by_threshold else None
+    report = DeltaReport(
+        seq=state.seq,
+        inserted=tuple(eid for eid, _u, _v in ins_records),
+        deleted=tuple(eid for eid, _u, _v in del_records),
+        delta_mode=mode,
+        dirty_vertices=dirty,
+        dirty_fraction=dirty / n if n else 0.0,
+        shard_dirty=_shard_dirty_counts(session, worst)
+        if worst is not None else (),
+        watches=watch_reports,
+        wall_ms=(time.perf_counter() - start) * 1000.0,
+        chain=state.chain,
+        fingerprint=new_fp,
+    )
+    session._delta_reports.append(report)
+    del session._delta_reports[:-256]
+    return report
