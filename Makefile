@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 export PYTHONPATH
 
-.PHONY: test test-fast lint bench-kernel bench-json golden-regen
+.PHONY: test test-fast lint check bench-kernel bench-json golden-regen
 
 # Tier-1 verify: the full suite, fail-fast.
 test:
@@ -14,9 +14,19 @@ test:
 test-fast:
 	python -m pytest -x -q -m "not slow"
 
-# Compile check everywhere + pyflakes when available (tools/lint.py).
+# Compile check everywhere + pyflakes when available + API-surface
+# freeze + the determinism/concurrency checks (tools/lint.py).
 lint:
 	python tools/lint.py
+
+# Determinism & concurrency static analysis (tools/checks/): kernel
+# determinism lint, fan-out closure-race detection, pass-DAG
+# reads/writes effect checking.  Zero unbaselined findings required;
+# writes CHECK_findings.json (archived by CI).  Rule catalog:
+# `python -m tools.checks --list-rules`; docs/determinism.md explains
+# the contract and the pragma/baseline workflow.
+check:
+	python -m tools.checks --json CHECK_findings.json
 
 # Dict vs flat-array kernel on the peeling + traversal hot paths
 # (asserts >= 2x at n >= 2000), session reuse (>= 1.5x warm prep),

@@ -19,6 +19,9 @@ setup(
     # library's one third-party dependency.
     install_requires=["numpy"],
     extras_require={
-        "test": ["pytest", "hypothesis"],
+        # pyflakes rides in [test] so the CI lint job (which installs
+        # this extra and sets LINT_REQUIRE_PYFLAKES=1) can never fall
+        # back to tools/lint.py's compile-only downgrade.
+        "test": ["pytest", "hypothesis", "pyflakes"],
     },
 )

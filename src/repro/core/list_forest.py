@@ -196,7 +196,7 @@ LIST_FOREST_PIPELINE = Pipeline(
         ),
         Pass(
             "split", _lf_split, deps=("setup",),
-            reads=("palettes",), writes=("split",),
+            reads=("palettes",), writes=("split", "stats"),
             description="vertex-color-splitting of every palette into "
                         "main Q0 / reserve Q1",
             citation="Theorem 4.9 / Proposition 4.8",
@@ -204,13 +204,14 @@ LIST_FOREST_PIPELINE = Pipeline(
         Pass(
             "algorithm2", _lf_algorithm2, deps=("split",),
             reads=("split", "alpha"),
-            writes=("coloring_0", "leftover"),
+            writes=("coloring_0", "leftover", "stats"),
             description="Algorithm 2 on the main palettes colors E0",
             citation="Theorem 4.5",
         ),
         Pass(
             "diameter_reduce", _lf_diameter_reduce, deps=("algorithm2",),
-            reads=("coloring_0",), writes=("coloring_0", "leftover"),
+            reads=("coloring_0",),
+            writes=("coloring_0", "leftover", "stats"),
             description="depth-cut φ0's deep trees; deletions join the "
                         "leftover",
             citation="Proposition 2.4",

@@ -214,7 +214,10 @@ _ORIENT_PASSES = [
     ),
     Pass(
         "decompose", _or_decompose, deps=("setup",),
-        writes=("forest_result", "partition", "bound"),
+        writes=(
+            "forest_result", "partition", "bound",
+            "peel_backend", "snapshot",
+        ),
         description="produce the substrate: Algorithm 2 forests "
                     "(augmentation), H-partition (hpartition), or "
                     "nothing (exact)",

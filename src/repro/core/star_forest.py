@@ -316,7 +316,7 @@ STAR_FOREST_PIPELINE = Pipeline(
         ),
         Pass(
             "orient", _sf_orient, deps=("setup",),
-            reads=("t",), writes=("out_edges",),
+            reads=("t",), writes=("out_edges", "stats"),
             description="exact t-orientation ([SV19a] substitute)",
             citation="Theorem 5.4 setup",
         ),
@@ -337,7 +337,7 @@ STAR_FOREST_PIPELINE = Pipeline(
         Pass(
             "assemble", _sf_assemble, deps=("matchings",),
             reads=("matchings", "out_edges"),
-            writes=("coloring", "leftover"),
+            writes=("coloring", "leftover", "stats"),
             description="matched slots become ('amr', i) colors; "
                         "unmatched edges join the leftover",
         ),
@@ -578,7 +578,7 @@ LIST_STAR_FOREST_PIPELINE = Pipeline(
         ),
         Pass(
             "orient", _sf_orient, deps=("setup",),
-            reads=("t",), writes=("out_edges",),
+            reads=("t",), writes=("out_edges", "stats"),
             description="exact t-orientation ([SV19a] substitute)",
             citation="Theorem 5.4 setup",
         ),

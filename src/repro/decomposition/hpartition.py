@@ -190,6 +190,10 @@ def _h_partition_dict(
             raise DecompositionError(
                 f"H-partition stalled: threshold {threshold} too small"
             )
+        # repro: allow(det-set-order) — int-only vertex set: int hashes are
+        # PYTHONHASHSEED-independent, so iteration order is a pure function
+        # of the insertion sequence; the order feeds only commutative
+        # per-vertex class stamps, and the frozen goldens certify it.
         leaving = [v for v in alive if remaining_degree[v] <= threshold]
         if not leaving:
             raise DecompositionError(

@@ -107,8 +107,14 @@ def moser_tardos(
                 to_resample.update(event.variables)
         else:
             to_resample = set(violated[0].variables)
-        for var in to_resample:
-            assignment[var] = instance._samplers[var](rng)
+        # Resample in variable *declaration* order, never set order:
+        # with string-named variables, set iteration follows
+        # PYTHONHASHSEED-randomized hashes, and the rng draws would
+        # land on different variables per process — seeded runs would
+        # stop reproducing (the PR 2 child_rng bug class).
+        for var in instance._samplers:
+            if var in to_resample:
+                assignment[var] = instance._samplers[var](rng)
         counter.charge(1, "LLL resampling round")
 
     raise ConvergenceError(

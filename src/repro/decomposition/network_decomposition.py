@@ -465,6 +465,10 @@ def _carve_class_simultaneous_dict(
                 kept.add(v)
 
     clusters: Dict[int, List[int]] = {}
+    # repro: allow(det-set-order) — int-only vertex set built in wave order:
+    # int hashes are PYTHONHASHSEED-independent, so the member order is a
+    # pure function of the carve sequence; the frozen simultaneous-carve
+    # goldens certify exactly this order (sorting would regenerate them).
     for v in kept:
         clusters.setdefault(owner[v], []).append(v)
     return clusters

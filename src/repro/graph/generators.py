@@ -208,6 +208,10 @@ def preferential_attachment(n: int, out_degree: int, seed: SeedLike = None) -> M
             pick = rng.choice(targets) if targets else rng.randrange(v)
             if pick != v:
                 chosen.add(pick)
+        # repro: allow(det-set-order) — int-only target set: iteration order
+        # is hash-seed-independent and fixed by the rng draw sequence; the
+        # resulting edge-id order is frozen into every preferential-graph
+        # golden and corpus seed (sorting would silently regen them all).
         for u in chosen:
             graph.add_edge(v, u)
             targets.extend((v, u))

@@ -379,7 +379,7 @@ def weak_diameter(
             raise GraphError("weak_diameter: vertices not mutually reachable")
         return max((best for best, _ok in results), default=0)
     best = 0
-    members = set(vertices)
+    members = sorted(set(vertices))
     for start in vertices:
         dist = bfs_distances(graph, (start,), backend="dict")
         for other in members:

@@ -87,7 +87,9 @@ class Pipeline:
         indegree = {p.name: len(set(p.deps)) for p in self.passes}
         dependents: Dict[str, List[str]] = {p.name: [] for p in self.passes}
         for p in self.passes:
-            for dep in set(p.deps):
+            # dict.fromkeys = order-preserving dedup; iterating
+            # set(p.deps) would walk hash-randomized string order.
+            for dep in dict.fromkeys(p.deps):
                 dependents[dep].append(p.name)
         placed: Dict[str, int] = {}
         frontier = [p.name for p in self.passes if indegree[p.name] == 0]

@@ -180,12 +180,16 @@ class Scheduler:
         counter = ctx.counter
         rounds_before = counter.total if counter is not None else 0
         waves_before = _engine_dispatches()
+        # repro: allow(det-wallclock) — observability only: wall_ms feeds
+        # PassStats reporting, never any ordering or algorithmic choice.
         started = time.perf_counter()
         ctx._begin(record)
         try:
             p.runner(ctx)
         finally:
             ctx._end()
+            # repro: allow(det-wallclock) — observability only: timing lands
+            # in PassStats.wall_ms and is never read back by the scheduler.
             record.wall_ms += (time.perf_counter() - started) * 1000.0
             if counter is not None:
                 record.rounds += counter.total - rounds_before

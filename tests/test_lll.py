@@ -95,3 +95,42 @@ def test_deterministic_given_seed():
     a = moser_tardos(hypergraph_two_coloring_instance(edges, 5), seed=42)
     b = moser_tardos(hypergraph_two_coloring_instance(edges, 5), seed=42)
     assert a == b
+
+
+def test_string_variables_reproduce_across_hash_seeds():
+    """Regression (PR 9 analyzer finding, det-set-order): the parallel
+    resampling step iterated ``to_resample`` — a *set* — directly, so
+    with string variable names the per-variable rng draws followed
+    PYTHONHASHSEED-randomized set order and seeded runs diverged across
+    processes (the PR 2 child_rng bug class).  The fix resamples in
+    variable declaration order; here we pin the whole assignment across
+    three different hash seeds in real subprocesses.
+    """
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.decomposition import LLLInstance, moser_tardos\n"
+        "instance = LLLInstance()\n"
+        "names = ['v%02d' % i for i in range(16)]\n"
+        "for name in names:\n"
+        "    instance.add_variable(name, lambda rng: rng.randrange(100))\n"
+        "for i, name in enumerate(names):\n"
+        "    instance.add_event('high-%d' % i, [name],\n"
+        "                       lambda a, n=name: a[n] >= 60)\n"
+        "assignment = moser_tardos(instance, seed=7)\n"
+        "print(sorted(assignment.items()))\n"
+    )
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    outputs = set()
+    for hash_seed in ("0", "1", "4242"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        env["PYTHONHASHSEED"] = hash_seed
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1, outputs

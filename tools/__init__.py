@@ -1,0 +1,2 @@
+"""Developer tooling package (makes ``python -m tools.checks`` work
+from the repo root; the scripts here are not part of the library)."""

@@ -1,17 +1,25 @@
 """Repository lint driver: `make lint` / the CI lint job.
 
-Two layers, matching what the environment can guarantee:
+Four layers, matching what the environment can guarantee:
 
 1. **Compile check** (always): byte-compile every Python file under the
    source trees — catches syntax errors, tab/space damage, and
-   encoding breakage without importing anything.
+   encoding breakage without importing anything.  Bytecode is written
+   to a throwaway cache dir (``sys.pycache_prefix``), so linting never
+   litters ``__pycache__`` into the tree (it used to end up inside CI
+   artifacts).
 2. **pyflakes** (when importable): undefined names, unused imports,
    redefinitions.  The offline dev container does not ship pyflakes,
-   so its absence downgrades to the compile check rather than failing;
-   CI behaves the same way, keeping local and CI lint identical.
+   so its absence downgrades to the compile check locally — but with
+   ``LINT_REQUIRE_PYFLAKES=1`` (set by the CI lint job, which installs
+   the ``[test]`` extra) a missing pyflakes is a hard failure, so the
+   silent downgrade can never mask undefined names on CI.
 3. **API-surface check** (tools/api_surface.py): the exported
    names/signatures must match the frozen tools/api_surface.json —
    accidental public-API breakage fails the lint job.
+4. **Determinism & concurrency checks** (tools/checks/, also
+   ``make check``): kernel determinism lint, fan-out closure-race
+   detection, pass-DAG effect checking.  See docs/determinism.md.
 
 Exit status is non-zero on any finding, so the Make target and the CI
 job gate on it.
@@ -20,7 +28,10 @@ job gate on it.
 from __future__ import annotations
 
 import compileall
+import os
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 TARGETS = ["src", "tests", "benchmarks", "examples", "tools", "setup.py"]
@@ -28,14 +39,29 @@ TARGETS = ["src", "tests", "benchmarks", "examples", "tools", "setup.py"]
 
 def compile_check(root: Path) -> bool:
     ok = True
-    for target in TARGETS:
-        path = root / target
-        if not path.exists():
-            continue
-        if path.is_file():
-            ok &= compileall.compile_file(str(path), quiet=1, force=True)
-        else:
-            ok &= compileall.compile_dir(str(path), quiet=1, force=True)
+    with tempfile.TemporaryDirectory(prefix="repro-lint-pyc-") as cache:
+        # Redirect bytecode out of the tree: compileall otherwise drops
+        # __pycache__ dirs everywhere it looks, and those ended up in
+        # CI artifacts (PEP 405 pycache_prefix, py3.8+).
+        previous = sys.pycache_prefix
+        sys.pycache_prefix = cache
+        try:
+            for target in TARGETS:
+                path = root / target
+                if not path.exists():
+                    continue
+                if path.is_file():
+                    ok &= bool(
+                        compileall.compile_file(
+                            str(path), quiet=1, force=True
+                        )
+                    )
+                else:
+                    ok &= bool(
+                        compileall.compile_dir(str(path), quiet=1, force=True)
+                    )
+        finally:
+            sys.pycache_prefix = previous
     return bool(ok)
 
 
@@ -44,6 +70,13 @@ def pyflakes_check(root: Path) -> bool:
         from pyflakes.api import checkRecursive
         from pyflakes.reporter import Reporter
     except ImportError:
+        if os.environ.get("LINT_REQUIRE_PYFLAKES", "").strip() == "1":
+            print(
+                "lint: pyflakes unavailable but LINT_REQUIRE_PYFLAKES=1 "
+                "(CI installs it via the [test] extra) — failing instead "
+                "of silently downgrading"
+            )
+            return False
         print("lint: pyflakes unavailable; compile check only")
         return True
     paths = [str(root / target) for target in TARGETS if (root / target).exists()]
@@ -63,6 +96,19 @@ def api_surface_check(root: Path) -> bool:
     return api_surface.check() == 0
 
 
+def determinism_check(root: Path) -> bool:
+    """tools/checks in a subprocess (same invocation as `make check`),
+    so lint and check cannot drift apart."""
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "tools.checks",
+            "--json", "CHECK_findings.json",
+        ],
+        cwd=root,
+    )
+    return proc.returncode == 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     ok = compile_check(root)
@@ -74,6 +120,9 @@ def main() -> int:
         return 1
     if not api_surface_check(root):
         print("lint: public API surface drifted")
+        return 1
+    if not determinism_check(root):
+        print("lint: determinism/concurrency check findings (make check)")
         return 1
     print("lint: OK")
     return 0
