@@ -49,6 +49,16 @@ Seven sections, one per substrate milestone:
   carve (in practice the win is algorithmic and large), with classes
   asserted bit-identical across serial and every worker count.
 
+* ``bench_mp`` — the shared-memory multiprocess backend
+  (``backend="mp"``) vs. the serial csr peel, workers in {1, 2, 4},
+  with bit-identical classes asserted everywhere and a real
+  process-dispatch assertion at n >= 262144.  The >= 1.5x floor is
+  gated on ``os.cpu_count() >= 2`` (process fan-out cannot beat the
+  serial kernel on one core).  Plus the out-of-core leg: a 10^7-edge
+  graph streamed through ``CSRGraph.from_edge_iter(mmap_dir=...)``
+  into ``decompose()`` in a fresh subprocess, asserting peak RSS stays
+  within ~2x the snapshot's on-disk footprint.
+
 All sections check output equality where applicable, assert their
 speedup floors (skipped when ``BENCH_SNAPSHOT=1`` — shared CI runners
 time too noisily to gate on), and archive machine-readable
@@ -58,6 +68,7 @@ Run directly:  PYTHONPATH=src python benchmarks/bench_kernel.py
 Snapshot mode: BENCH_SNAPSHOT=1 PYTHONPATH=src python benchmarks/bench_kernel.py
 """
 
+import os
 import random
 import time
 
@@ -1218,6 +1229,257 @@ def run_delta_comparison():
     return rows
 
 
+# ----------------------------------------------------------------------
+# Shared-memory multiprocess backend + out-of-core ingest (PR-10)
+# ----------------------------------------------------------------------
+
+MP_REPEATS = 2
+MP_SPEEDUP_FLOOR = 1.5
+MP_WORKER_COUNTS = (1, 2, 4)
+
+# (name, asserted, threshold, factory).  The asserted workload is a
+# bulk peel: nearly every vertex falls inside the first few waves, so
+# each wave's scan crosses the mp fan-out gates (n >= 262144) and the
+# numpy kernel work genuinely splits across worker processes — the
+# only shape where paying ~1ms per process dispatch can win.  The
+# cascade grid is the opposite: hundreds of tiny frontiers that the
+# gates deliberately keep inline (mp == sharded there); it is reported
+# unasserted to keep the trade-off visible.
+MP_WORKLOADS = [
+    ("pref n=280k d=4 bulk t=8", True, 8,
+     lambda: preferential_attachment(280_000, 4, seed=61)),
+    ("grid 520x520 cascade t=2", False, 2,
+     lambda: grid_graph(520, 520)),
+]
+
+#: out-of-core leg: edge count of the streamed graph (override to
+#: shrink locally; the acceptance scale is 10^7).
+OOC_EDGES = int(os.environ.get("REPRO_BENCH_OOC_EDGES", str(10_000_000)))
+#: RSS allowance for the bare interpreter + numpy + result arrays on
+#: top of the ~2x on-disk-footprint budget for the snapshot itself.
+OOC_RSS_BASE_BYTES = 256 * 1024 * 1024
+
+# The out-of-core measurement runs in a fresh subprocess so its
+# ru_maxrss is the leg's own peak, not whatever earlier sections of
+# this bench happened to allocate.
+_OOC_CHILD = r"""
+import json, os, sys, tempfile, time
+import numpy as np
+import repro
+from repro.graph.csr import CSRGraph
+
+def peak_rss_bytes():
+    # NOT ru_maxrss: getrusage's high-water mark survives fork+exec on
+    # Linux, so a child spawned from a large bench parent would report
+    # the parent's peak.  VmHWM is reset with the fresh mm at exec.
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmHWM:"):
+                return int(line.split()[1]) * 1024
+    return 0
+
+m, n = int(sys.argv[1]), int(sys.argv[2])
+rng = np.random.default_rng(97)
+
+def chunks():
+    left = m
+    while left:
+        k = min(1 << 20, left)
+        u = rng.integers(0, n, size=k, dtype=np.int64)
+        v = rng.integers(0, n - 1, size=k, dtype=np.int64)
+        v = np.where(v >= u, v + 1, v)  # no self-loops
+        yield np.stack((u, v), axis=1)
+        left -= k
+
+with tempfile.TemporaryDirectory() as root:
+    mmap_dir = os.path.join(root, "csr")
+    t0 = time.perf_counter()
+    snap = CSRGraph.from_edge_iter(chunks(), n=n, mmap_dir=mmap_dir)
+    ingest_s = time.perf_counter() - t0
+    disk = sum(
+        os.path.getsize(os.path.join(mmap_dir, f))
+        for f in os.listdir(mmap_dir)
+    )
+    # the out-of-core recipe: h-partition orientation with a pinned
+    # pseudoarboricity (no exact-flow pass, no per-edge dict state)
+    config = repro.DecompositionConfig(
+        backend="csr",
+        options={"method": "hpartition", "pseudoarboricity": 24},
+    )
+    t0 = time.perf_counter()
+    result = repro.decompose(snap, task="orientation", config=config)
+    decompose_s = time.perf_counter() - t0
+    payload = {
+        "n": n,
+        "m": m,
+        "bound": int(result.bound),
+        "oriented_edges": len(result.coloring),
+        "ingest_s": round(ingest_s, 3),
+        "decompose_s": round(decompose_s, 3),
+        "disk_bytes": int(disk),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+print(json.dumps(payload))
+"""
+
+
+def _run_ooc_leg():
+    import json
+    import subprocess
+    import sys
+
+    out = subprocess.run(
+        [sys.executable, "-c", _OOC_CHILD, str(OOC_EDGES), str(OOC_EDGES // 10)],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(out.stdout)
+
+
+def run_mp_comparison():
+    from repro.parallel.shm import mp_pool_stats
+
+    rows = []
+    json_rows = []
+    asserted = []
+    for name, assertable, threshold, make in MP_WORKLOADS:
+        graph = make()
+        snapshot = snapshot_of(graph)
+        reference = h_partition(
+            graph, threshold, backend="csr", snapshot=snapshot
+        )
+        csr_ms = _best(
+            lambda: h_partition(
+                graph, threshold, backend="csr", snapshot=snapshot
+            ),
+            MP_REPEATS,
+        )
+        best_speedup = 0.0
+        for workers in MP_WORKER_COUNTS:
+            before = mp_pool_stats()["mp_dispatches"]
+            result = h_partition(
+                graph, threshold, backend="mp",
+                snapshot=snapshot, workers=workers,
+            )
+            # The backend's contract: bit-identical classes for every
+            # worker/process count.
+            assert result.classes == reference.classes
+            dispatched = mp_pool_stats()["mp_dispatches"] - before
+            if workers > 1 and graph.n >= 262_144:
+                # the scan gate reads only wave content, so at this n
+                # the first wave must have crossed the process boundary
+                assert dispatched > 0, (
+                    f"{name}: no mp dispatch at workers={workers}"
+                )
+            mp_ms = _best(
+                lambda: h_partition(
+                    graph, threshold, backend="mp",
+                    snapshot=snapshot, workers=workers,
+                ),
+                MP_REPEATS,
+            )
+            speedup = csr_ms / mp_ms
+            best_speedup = max(best_speedup, speedup)
+            rows.append(
+                (
+                    name,
+                    graph.n,
+                    graph.m,
+                    workers,
+                    f"{csr_ms * 1e3:.1f}",
+                    f"{mp_ms * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": name,
+                    "n": graph.n,
+                    "m": graph.m,
+                    "op": "h_partition",
+                    "workers": workers,
+                    "csr_ms": round(csr_ms * 1e3, 3),
+                    "mp_ms": round(mp_ms * 1e3, 3),
+                    "speedup": round(speedup, 3),
+                }
+            )
+        if assertable:
+            asserted.append((name, best_speedup))
+
+    ooc = _run_ooc_leg()
+    rows.append(
+        (
+            f"out-of-core er m={ooc['m']}",
+            ooc["n"],
+            ooc["m"],
+            "-",
+            f"ingest {ooc['ingest_s']:.1f}s",
+            f"decompose {ooc['decompose_s']:.1f}s",
+            f"rss {ooc['peak_rss_bytes'] / 2**20:.0f}MB / "
+            f"disk {ooc['disk_bytes'] / 2**20:.0f}MB",
+        )
+    )
+
+    emit(
+        "mp",
+        format_table(
+            "Multiprocess shared-memory peel vs serial csr + out-of-core",
+            [
+                "workload",
+                "n",
+                "m",
+                "workers",
+                "csr ms",
+                "mp ms",
+                "speedup",
+            ],
+            rows,
+        ),
+    )
+    emit_json(
+        "BENCH_mp",
+        {
+            "bench": "mp",
+            "schema_version": 1,
+            "mode": "snapshot" if SNAPSHOT_MODE else "assert",
+            "threshold": MP_SPEEDUP_FLOOR,
+            "cpu_count": os.cpu_count() or 1,
+            "worker_counts": list(MP_WORKER_COUNTS),
+            "rows": json_rows,
+            "out_of_core": ooc,
+            "asserted": [
+                {"workload": name, "best_speedup": round(value, 3)}
+                for name, value in asserted
+            ],
+        },
+    )
+
+    if not SNAPSHOT_MODE:
+        # Out-of-core acceptance: the decomposition's working set stays
+        # within ~2x the snapshot's on-disk footprint (plus a fixed
+        # interpreter/numpy allowance) — the backing arrays are paged,
+        # not resident.
+        budget = 2.0 * ooc["disk_bytes"] + OOC_RSS_BASE_BYTES
+        assert ooc["peak_rss_bytes"] <= budget, (
+            f"out-of-core peak RSS {ooc['peak_rss_bytes'] / 2**20:.0f}MB "
+            f"exceeds budget {budget / 2**20:.0f}MB "
+            f"(disk {ooc['disk_bytes'] / 2**20:.0f}MB)"
+        )
+        # The >= 1.5x claim is a multi-core claim: process fan-out
+        # cannot beat the serial kernel on one core (dispatch +
+        # result-pickling overhead with zero added compute bandwidth),
+        # so the floor is gated on the machine actually having cores.
+        if (os.cpu_count() or 1) >= 2:
+            for name, best in asserted:
+                assert best >= MP_SPEEDUP_FLOOR, (
+                    f"{name}: best mp speedup {best:.2f}x < "
+                    f"{MP_SPEEDUP_FLOOR}x on a {os.cpu_count()}-core "
+                    "machine — the process backend's reason to exist"
+                )
+    return rows
+
+
 def bench_kernel(benchmark=None):
     if benchmark is None:
         run_kernel_comparison()
@@ -1290,6 +1552,15 @@ def bench_delta(benchmark=None):
         once(benchmark, run_delta_comparison)
 
 
+def bench_mp(benchmark=None):
+    if benchmark is None:
+        run_mp_comparison()
+    else:
+        from harness import once
+
+        once(benchmark, run_mp_comparison)
+
+
 if __name__ == "__main__":
     bench_kernel()
     bench_traversal()
@@ -1299,3 +1570,4 @@ if __name__ == "__main__":
     bench_carve()
     bench_passes()
     bench_delta()
+    bench_mp()

@@ -15,7 +15,7 @@ Usage examples::
 
 Graphs are plain edge lists (see :mod:`repro.graph.io`).  Every
 decomposition subcommand takes ``--backend
-auto|dict|csr|sharded|parallel`` (graph substrate; the wave-engine
+auto|dict|csr|sharded|parallel|mp`` (graph substrate; the wave-engine
 backends take ``--workers``) and ``--json`` (print the structured
 ``to_json()`` payload — colors, stats, config, round accounting —
 instead of the human report, so downstream tooling stops parsing
@@ -56,13 +56,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", default="auto",
                         help="graph substrate: auto|dict|csr|sharded|"
-                        "parallel or any registered backend "
+                        "parallel|mp or any registered backend "
                         "(default: auto)")
     parser.add_argument("--workers", type=int, default=0,
-                        help="worker threads for the wave-engine "
-                        "backends (sharded peeling / parallel BFS; "
-                        "0 = auto; results are identical for every "
-                        "value)")
+                        help="workers for the wave-engine backends "
+                        "(threads for sharded/parallel, processes "
+                        "for mp; 0 = auto; results are identical for "
+                        "every value)")
     parser.add_argument("--out", default=None, help="write coloring here")
     parser.add_argument("--json", action="store_true",
                         help="print the structured result (to_json()) "

@@ -68,6 +68,8 @@ def _split_backend(backend: str) -> Tuple[str, str]:
         return "sharded", "csr"
     if backend == "parallel":
         return "sharded", "parallel"
+    if backend == "mp":
+        return "mp", "mp"
     return "csr", "csr"
 
 
@@ -173,7 +175,7 @@ def algorithm2(
         backends and worker counts (certified by the
         kernel-equivalence suite).
     """
-    if backend not in ("auto", "dict", "csr", "sharded", "parallel"):
+    if backend not in ("auto", "dict", "csr", "sharded", "parallel", "mp"):
         raise DecompositionError(f"unknown backend {backend!r}")
     counter = ensure_counter(rounds)
     rng = make_rng(seed)

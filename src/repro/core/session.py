@@ -214,16 +214,18 @@ class Session:
             "shard_plan", lambda: plan_of(self.snapshot())
         )
 
-    def wave_engine(self, workers: int = 0):
+    def wave_engine(self, workers: int = 0, mp: bool = False):
         """A :class:`~repro.parallel.engine.WaveEngine` over this
         graph's cached snapshot and shard plan — the runtime the
-        ``sharded`` / ``parallel`` backends execute their waves on.
-        ``workers=0`` falls back to the session config's ``workers``
-        knob (then to the auto sizing); worker count never changes
-        results."""
+        ``sharded`` / ``parallel`` backends execute their waves on
+        (``mp=True`` builds the process-pool
+        :class:`~repro.parallel.engine.MPWaveEngine` the ``mp``
+        backend uses).  ``workers=0`` falls back to the session
+        config's ``workers`` knob (then to the auto sizing); worker
+        count never changes results."""
         if workers == 0:
             workers = self.config.workers
-        return engine_for(self.snapshot(), workers, self.shard_plan())
+        return engine_for(self.snapshot(), workers, self.shard_plan(), mp=mp)
 
     def prepare(self) -> "Session":
         """Force the graph-prep phase now: snapshot + exact arboricity
@@ -606,7 +608,8 @@ def _run_orientation(
         if method == "hpartition" else None,
         shard_plan=session.shard_plan()
         if method == "hpartition"
-        and session.substrate(config) in ("sharded", "parallel") else None,
+        and session.substrate(config) in ("sharded", "parallel", "mp")
+        else None,
         schedule=config.schedule,
     )
 
@@ -635,7 +638,8 @@ def _run_pseudoforest(
         if method == "hpartition" else None,
         shard_plan=session.shard_plan()
         if method == "hpartition"
-        and session.substrate(config) in ("sharded", "parallel") else None,
+        and session.substrate(config) in ("sharded", "parallel", "mp")
+        else None,
         schedule=config.schedule,
     )
 
@@ -739,6 +743,18 @@ register_backend(BackendSpec(
     capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
     resolve=lambda graph: (
         "parallel" if graph.n >= SHARDED_AUTO_CUTOFF else "csr"
+    ),
+))
+register_backend(BackendSpec(
+    name="mp",
+    description="the wave-engine substrate on worker *processes*: "
+    "shard kernels ship as shared-memory descriptors and run on a "
+    "spawn-safe process pool (true multi-core, no GIL), bit-identical "
+    f"to csr for every worker count; auto-selects at n >= "
+    f"{SHARDED_AUTO_CUTOFF}, csr below",
+    capabilities=frozenset({"peeling", "traversal", "color_bfs"}),
+    resolve=lambda graph: (
+        "mp" if graph.n >= SHARDED_AUTO_CUTOFF else "csr"
     ),
 ))
 

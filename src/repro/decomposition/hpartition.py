@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import DecompositionError, PaletteError
-from ..graph.csr import CSRGraph, force_sharded_peeling
+from ..graph.csr import CSRGraph, EdgeArrayMap, force_mp, force_sharded_peeling
 from ..graph.forests import RootedForest
 from ..graph.multigraph import MultiGraph
 from ..graph.shard import ShardPlan, ShardedPeelingView, plan_of
@@ -62,8 +62,11 @@ def uninstall_wave_oracle(graph: MultiGraph) -> None:
 
 
 def wave_oracle_of(graph: MultiGraph):
-    """The graph's installed wave oracle, or None."""
-    return graph.__dict__.get(_WAVE_ORACLE_ATTR)
+    """The graph's installed wave oracle, or None.  Slotted substrates
+    (a :class:`CSRGraph` passed directly into the pipeline) can never
+    carry one."""
+    state = getattr(graph, "__dict__", None)
+    return None if state is None else state.get(_WAVE_ORACLE_ATTR)
 
 
 class HPartition:
@@ -138,15 +141,18 @@ def h_partition(
         # engine-backed BFS specialization lives in the traversal /
         # carving layers.
         backend = "sharded"
-    if backend == "csr" and force_sharded_peeling():
-        backend = "sharded"
-    if backend not in ("csr", "sharded"):
+    if backend == "csr":
+        if force_mp():
+            backend = "mp"
+        elif force_sharded_peeling():
+            backend = "sharded"
+    if backend not in ("csr", "sharded", "mp"):
         raise DecompositionError(f"unknown h_partition backend {backend!r}")
 
     snap = snapshot if snapshot is not None else CSRGraph.from_multigraph(graph)
-    if backend == "sharded":
+    if backend in ("sharded", "mp"):
         plan = shard_plan if shard_plan is not None else plan_of(snap)
-        view = ShardedPeelingView(snap, plan, workers)
+        view = ShardedPeelingView(snap, plan, workers, mp=backend == "mp")
     else:
         view = snap.peeling_view()
     vertex_ids = snap.vertex_ids.tolist()
@@ -244,10 +250,14 @@ def acyclic_orientation(
                 orientation[eid] = u
             else:
                 orientation[eid] = v
-    elif backend in ("csr", "sharded", "parallel"):
+    elif backend in ("csr", "sharded", "parallel", "mp"):
         # the wave-engine backends only specialize the peel / BFS
         # phases; the per-edge comparison is one vectorized pass
-        # either way.
+        # either way.  The result is an array-backed mapping
+        # (:class:`~repro.graph.csr.EdgeArrayMap`) — == any dict with
+        # the same items, but never materializes m Python ints unless a
+        # caller truly iterates it, which is what keeps the orientation
+        # step inside the out-of-core RSS budget on memmap snapshots.
         snap = snapshot if snapshot is not None else CSRGraph.from_multigraph(graph)
         if snap.num_edges == 0:
             orientation = {}
@@ -263,7 +273,7 @@ def acyclic_orientation(
             v_ids = snap.edge_v_ids
             u_wins = (class_u < class_v) | ((class_u == class_v) & (u_ids < v_ids))
             tails = np.where(u_wins, u_ids, v_ids)
-            orientation = dict(zip(snap.edge_id.tolist(), tails.tolist()))
+            orientation = EdgeArrayMap(snap.edge_id, tails)
     else:
         raise DecompositionError(f"unknown orientation backend {backend!r}")
     counter.charge(1, "orientation")

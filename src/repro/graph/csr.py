@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import heapq
 import os
+from collections.abc import Mapping
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -144,33 +145,55 @@ def force_sharded_peeling() -> bool:
     return _env_flag("REPRO_FORCE_SHARDED") or _env_flag("REPRO_FORCE_PARALLEL")
 
 
+def force_mp() -> bool:
+    """True when ``REPRO_FORCE_MP=1``: every wave-engine-resolved
+    callsite (peels *and* traversals) reroutes through the
+    process-backed ``"mp"`` substrate regardless of size — the mp CI
+    leg runs the whole fast suite this way.  Outputs are bit-identical
+    to every other backend; the process pool is sized by
+    ``REPRO_MP_WORKERS``."""
+    return _env_flag("REPRO_FORCE_MP")
+
+
 def resolve_backend(graph, backend: str, error_cls=GraphError, peeling: bool = False) -> str:
     """Shared backend dispatch for the traversal / decomposition layers.
 
     ``auto`` routes :class:`CSRGraph` inputs (and large ``MultiGraph``
     inputs) to the kernel and keeps small dict graphs on the reference
-    path.  The ``sharded`` / ``parallel`` names select the wave-engine
-    substrates, each auto-gated by size (the multi-worker wave
-    machinery only pays for itself at scale; results are identical
+    path.  The ``sharded`` / ``parallel`` / ``mp`` names select the
+    wave-engine substrates, each auto-gated by size (the multi-worker
+    wave machinery only pays for itself at scale; results are identical
     either way):
 
-    * peeling callsites (``peeling=True``) get ``"sharded"`` at
-      ``n >= SHARDED_AUTO_CUTOFF`` and ``"csr"`` below;
+    * peeling callsites (``peeling=True``) get ``"sharded"`` (or
+      ``"mp"``) at ``n >= SHARDED_AUTO_CUTOFF`` and ``"csr"`` below;
     * traversal / network-decomposition / color-class callsites get
-      ``"parallel"`` (engine-backed BFS waves) at
+      ``"parallel"`` (or ``"mp"``) — engine-backed BFS waves — at
       ``n >= PARALLEL_BFS_AUTO_CUTOFF`` and ``"csr"`` below — never
       the dict reference path.
 
+    ``mp`` is the same wave contract fanned over worker *processes*
+    with shared-memory snapshots (:class:`repro.parallel.MPWaveEngine`).
+
     ``REPRO_FORCE_PARALLEL=1`` reroutes every csr-resolved
     non-peeling callsite through ``"parallel"`` regardless of size
-    (the forced-backend CI leg).  Unknown names raise ``error_cls``
-    so each layer keeps its own error taxonomy.
+    (the forced-backend CI leg); ``REPRO_FORCE_MP=1`` does the same
+    through ``"mp"``, peels included, and supersedes the parallel
+    force.  Unknown names raise ``error_cls`` so each layer keeps its
+    own error taxonomy.
     """
-    if backend in ("sharded", "parallel"):
+    if backend in ("sharded", "parallel", "mp"):
+        wants_mp = backend == "mp" or force_mp()
         if peeling:
-            return "sharded" if graph.n >= SHARDED_AUTO_CUTOFF else "csr"
-        if graph.n >= PARALLEL_BFS_AUTO_CUTOFF or force_parallel_traversal():
-            return "parallel"
+            if graph.n >= SHARDED_AUTO_CUTOFF or force_mp():
+                return "mp" if wants_mp else "sharded"
+            return "csr"
+        if (
+            graph.n >= PARALLEL_BFS_AUTO_CUTOFF
+            or force_parallel_traversal()
+            or force_mp()
+        ):
+            return "mp" if wants_mp else "parallel"
         return "csr"
     if backend == "auto":
         if isinstance(graph, CSRGraph):
@@ -181,8 +204,11 @@ def resolve_backend(graph, backend: str, error_cls=GraphError, peeling: bool = F
         raise error_cls(f"unknown backend {backend!r}")
     else:
         resolved = backend
-    if resolved == "csr" and not peeling and force_parallel_traversal():
-        return "parallel"
+    if resolved == "csr" and not peeling:
+        if force_mp():
+            return "mp"
+        if force_parallel_traversal():
+            return "parallel"
     return resolved
 
 
@@ -262,8 +288,118 @@ def mutation_fingerprint(graph) -> Tuple[int, int, int]:
     unchanged.  This keys every derived-data cache in the library: the
     per-graph snapshot below and the :class:`~repro.core.session.Session`
     memos (arboricity, pseudoarboricity, per-color sub-CSRs).
+
+    :class:`CSRGraph` inputs are immutable, so their highest edge id
+    stands in for the mutation counter — this is what lets a
+    memmap-ingested snapshot flow straight into a ``Session``.
     """
+    if isinstance(graph, CSRGraph):
+        next_edge = (
+            int(graph.edge_id[-1]) + 1 if graph.num_edges else 0
+        )
+        return (graph.n, graph.m, next_edge)
     return (graph.n, graph.m, graph._next_edge)
+
+
+def _coerce_edge_chunks(source, chunk_edges: int):
+    """Yield ``(k, 2)`` int64 chunks from an iterable of pairs or of
+    pair-arrays (the non-path inputs of :meth:`CSRGraph.from_edge_iter`)."""
+    buffer: List[Tuple[int, int]] = []
+    for item in source:
+        if isinstance(item, np.ndarray):
+            if buffer:
+                yield np.asarray(buffer, dtype=np.int64).reshape(-1, 2)
+                buffer = []
+            yield item
+        else:
+            buffer.append((int(item[0]), int(item[1])))
+            if len(buffer) >= chunk_edges:
+                yield np.asarray(buffer, dtype=np.int64)
+                buffer = []
+    if buffer:
+        yield np.asarray(buffer, dtype=np.int64)
+
+
+def _check_edge_chunk(chunk: np.ndarray) -> np.ndarray:
+    """Validate one ingest chunk: shape (k, 2), nonnegative ids, no
+    self-loops (mirroring :meth:`MultiGraph.add_edge`)."""
+    chunk = np.ascontiguousarray(chunk, dtype=np.int64)
+    if chunk.ndim != 2 or chunk.shape[1] != 2:
+        raise GraphError(
+            f"edge chunk must have shape (k, 2), got {chunk.shape}"
+        )
+    if chunk.size:
+        if int(chunk.min()) < 0:
+            raise GraphError("edge endpoints must be nonnegative")
+        loops = chunk[:, 0] == chunk[:, 1]
+        if loops.any():
+            where = int(chunk[int(np.flatnonzero(loops)[0]), 0])
+            raise GraphError(f"self-loop at vertex {where} is not allowed")
+    return chunk
+
+
+class EdgeArrayMap(Mapping):
+    """Array-backed read-only ``edge id -> value`` mapping.
+
+    The orientation / pseudoforest layers historically returned plain
+    dicts; at 10^7+ edges that dict alone costs ~1GB of pointerful
+    heap.  This class keeps the data as two parallel arrays (edge ids
+    in position order, values) and only materializes a dict if a caller
+    actually does scalar lookups — the full :class:`Mapping` API
+    (``keys`` / ``items`` / ``values`` / ``==`` / iteration) works
+    either way, so every existing consumer (validators, ``to_json``,
+    the delta engine's bit-identity asserts) sees dict semantics.
+
+    Equality against another :class:`EdgeArrayMap` takes the O(m)
+    array fast path with no allocation; against a dict it falls back to
+    the Mapping contract (``dict(self) == other``).
+    """
+
+    __slots__ = ("eids", "vals", "_dict")
+
+    def __init__(self, eids: np.ndarray, values: np.ndarray) -> None:
+        self.eids = eids
+        self.vals = values
+        self._dict: Optional[Dict[int, int]] = None
+
+    def _materialize(self) -> Dict[int, int]:
+        if self._dict is None:
+            self._dict = dict(
+                zip(self.eids.tolist(), self.vals.tolist())
+            )
+        return self._dict
+
+    def __getitem__(self, eid: int) -> int:
+        return self._materialize()[eid]
+
+    def __iter__(self):
+        return iter(self.eids.tolist())
+
+    def __len__(self) -> int:
+        return int(self.eids.size)
+
+    def __contains__(self, eid) -> bool:
+        return eid in self._materialize()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EdgeArrayMap):
+            if self.eids is other.eids or np.array_equal(
+                self.eids, other.eids
+            ):
+                return bool(np.array_equal(self.vals, other.vals))
+            return self._materialize() == other._materialize()
+        if isinstance(other, dict):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"EdgeArrayMap({len(self)} edges)"
 
 
 def snapshot_of(graph) -> "CSRGraph":
@@ -305,6 +441,7 @@ class CSRGraph:
         "_adj_lists",
         "_vertex_id_list",
         "_shard_plan_cache",
+        "mmap_dir",
     )
 
     def __init__(
@@ -318,6 +455,7 @@ class CSRGraph:
         edge_id: np.ndarray,
         index_of: Optional[Dict[int, int]],
         eid_pos: Optional[Dict[int, int]],
+        mmap_dir: Optional[str] = None,
     ) -> None:
         self.num_vertices = int(vertex_ids.shape[0])
         self.num_edges = int(edge_id.shape[0])
@@ -328,8 +466,16 @@ class CSRGraph:
         self.edge_u = edge_u
         self.edge_v = edge_v
         self.edge_id = edge_id
-        self.edge_u_ids = vertex_ids[edge_u] if self.num_edges else edge_u
-        self.edge_v_ids = vertex_ids[edge_v] if self.num_edges else edge_v
+        # Identity vertex numbering means vertex_ids[edge_u] == edge_u
+        # element-wise; aliasing instead of gathering keeps out-of-core
+        # snapshots from materializing two m-length arrays in RAM
+        # (snapshots are immutable, so sharing storage is safe).
+        if index_of is None or self.num_edges == 0:
+            self.edge_u_ids = edge_u
+            self.edge_v_ids = edge_v
+        else:
+            self.edge_u_ids = vertex_ids[edge_u]
+            self.edge_v_ids = vertex_ids[edge_v]
         self._index_of = index_of  # None => identity (ids are 0..n-1)
         self._eid_pos = eid_pos  # None => identity (ids are 0..m-1)
         self._endpoint_lists: Optional[Tuple[Sequence, Sequence]] = None
@@ -338,6 +484,8 @@ class CSRGraph:
         # Default ShardPlan over this snapshot (repro.graph.shard);
         # snapshots are immutable, so the plan never invalidates.
         self._shard_plan_cache = None
+        #: directory holding this snapshot's .npy memmaps (None = RAM)
+        self.mmap_dir = mmap_dir
 
     # ------------------------------------------------------------------
     # Construction
@@ -394,6 +542,179 @@ class CSRGraph:
             edge_id,
             index_of,
             eid_pos,
+        )
+
+    @classmethod
+    def from_edge_iter(
+        cls,
+        source,
+        n: Optional[int] = None,
+        mmap_dir: Optional[str] = None,
+        chunk_edges: int = 1 << 20,
+    ) -> "CSRGraph":
+        """Build a snapshot from a streamed edge list, optionally
+        out-of-core.
+
+        ``source`` is a path to an edge-list / SNAP text file (parsed
+        in chunks via :func:`repro.graph.io.iter_edge_chunks`), an
+        iterable of ``(u, v)`` pairs, or an iterable of ``(k, 2)``
+        integer arrays.  Vertex ids must be nonnegative; the snapshot
+        covers ``0..n-1`` (``n`` defaults to ``max id + 1``, so gaps
+        become isolated vertices) and edge ids are assigned in stream
+        order — **byte-identical** to
+        ``from_multigraph(MultiGraph.from_edges(n, pairs))``, which the
+        equivalence tests assert.
+
+        With ``mmap_dir`` every snapshot array lives in an ``.npy``
+        file under that directory (``np.lib.format.open_memmap``), so a
+        10^7–10^8-edge graph streams from disk into ``decompose()``
+        instead of living in RAM; transient state is one O(n) counter
+        array plus one chunk.  The ingest is two counting passes plus
+        two cursor-scatter passes that reproduce the stable
+        u-side-then-v-side half-edge order of ``_half_edge_csr``
+        without ever sorting the full 2m-length arrays.
+        """
+        if isinstance(source, (str, os.PathLike)):
+            from .io import iter_edge_chunks
+
+            chunks = iter_edge_chunks(source, chunk_edges)
+        else:
+            chunks = _coerce_edge_chunks(source, chunk_edges)
+
+        # -- spool the stream so the later passes can re-read it -------
+        max_id = -1
+        m = 0
+        if mmap_dir is not None:
+            os.makedirs(mmap_dir, exist_ok=True)
+            spool_path = os.path.join(mmap_dir, "edge-spool.bin")
+            with open(spool_path, "wb") as spool:
+                for chunk in chunks:
+                    chunk = _check_edge_chunk(chunk)
+                    if chunk.size:
+                        max_id = max(max_id, int(chunk.max()))
+                        m += chunk.shape[0]
+                        spool.write(chunk.tobytes())
+            edges = (
+                np.memmap(spool_path, dtype=np.int64, mode="r", shape=(m, 2))
+                if m
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        else:
+            parts = []
+            for chunk in chunks:
+                chunk = _check_edge_chunk(chunk)
+                if chunk.size:
+                    max_id = max(max_id, int(chunk.max()))
+                    m += chunk.shape[0]
+                    parts.append(chunk)
+            edges = (
+                np.concatenate(parts)
+                if parts
+                else np.empty((0, 2), dtype=np.int64)
+            )
+        if n is None:
+            n = max_id + 1
+        elif max_id >= n:
+            raise GraphError(
+                f"edge endpoint {max_id} out of range for n={n} vertices"
+            )
+        n = int(n)
+
+        def alloc(name: str, shape, dtype=np.int64) -> np.ndarray:
+            if mmap_dir is None:
+                return np.zeros(shape, dtype=dtype)
+            return np.lib.format.open_memmap(
+                os.path.join(mmap_dir, f"{name}.npy"),
+                mode="w+",
+                dtype=dtype,
+                shape=shape if isinstance(shape, tuple) else (shape,),
+            )
+
+        # -- counting pass: degrees + per-vertex u-side counts ---------
+        counts = np.zeros(n, dtype=np.int64)
+        count_u = np.zeros(n, dtype=np.int64)
+        for lo in range(0, m, chunk_edges):
+            block = np.asarray(edges[lo : lo + chunk_edges])
+            bu = np.bincount(block[:, 0], minlength=n)
+            count_u += bu
+            counts += bu
+            counts += np.bincount(block[:, 1], minlength=n)
+
+        vertex_offsets = alloc("vertex_offsets", n + 1)
+        np.cumsum(counts, out=vertex_offsets[1:])
+        vertex_offsets[0] = 0
+        del counts
+
+        neighbor_ids = alloc("neighbor_ids", 2 * m)
+        edge_ids = alloc("edge_ids", 2 * m)
+        edge_u = alloc("edge_u", m)
+        edge_v = alloc("edge_v", m)
+        edge_id = alloc("edge_id", m)
+        vertex_ids = alloc("vertex_ids", n)
+        for lo in range(0, n, chunk_edges):
+            hi = min(n, lo + chunk_edges)
+            vertex_ids[lo:hi] = np.arange(lo, hi, dtype=np.int64)
+        for lo in range(0, m, chunk_edges):
+            hi = min(m, lo + chunk_edges)
+            edge_id[lo:hi] = np.arange(lo, hi, dtype=np.int64)
+
+        # -- scatter passes: u-side halves first, then v-side ----------
+        # ``_half_edge_csr`` stable-sorts concat(u-block, v-block) by
+        # source, so within each vertex all u-side half-edges appear in
+        # edge-position order, then all v-side ones.  Two cursor passes
+        # over the stream write exactly that layout.
+        cursor = np.asarray(vertex_offsets[:n]).copy()
+        for side in (0, 1):
+            for lo in range(0, m, chunk_edges):
+                hi = min(m, lo + chunk_edges)
+                block = np.asarray(edges[lo:hi])
+                src = block[:, side]
+                dst = block[:, 1 - side]
+                if side == 0:
+                    edge_u[lo:hi] = src
+                    edge_v[lo:hi] = dst
+                order = np.argsort(src, kind="stable")
+                src_sorted = src[order]
+                run_starts = np.flatnonzero(
+                    np.concatenate(
+                        ([True], src_sorted[1:] != src_sorted[:-1])
+                    )
+                ) if src_sorted.size else np.empty(0, dtype=np.int64)
+                run_lengths = np.diff(
+                    np.concatenate((run_starts, [src_sorted.size]))
+                )
+                rank = np.arange(
+                    src_sorted.size, dtype=np.int64
+                ) - np.repeat(run_starts, run_lengths)
+                slots = cursor[src_sorted] + rank
+                neighbor_ids[slots] = dst[order]
+                edge_ids[slots] = lo + order
+                cursor[src_sorted[run_starts]] += run_lengths
+            if side == 0:
+                # v-side halves start after each vertex's u-side block.
+                cursor = np.asarray(vertex_offsets[:n]) + count_u
+        del count_u
+
+        if mmap_dir is not None:
+            for arr in (
+                vertex_offsets, neighbor_ids, edge_ids,
+                edge_u, edge_v, edge_id, vertex_ids,
+            ):
+                arr.flush()
+            del edges
+            os.remove(spool_path)
+
+        return cls(
+            vertex_ids,
+            vertex_offsets,
+            neighbor_ids,
+            edge_ids,
+            edge_u,
+            edge_v,
+            edge_id,
+            None,
+            None,
+            mmap_dir=mmap_dir,
         )
 
     # ------------------------------------------------------------------
@@ -698,6 +1019,11 @@ class CSRGraph:
         if self._eid_pos is None:
             return np.asarray(eids, dtype=np.int64)
         pos_of = self._eid_pos
+        vectorized = getattr(pos_of, "positions", None)
+        if vectorized is not None:
+            # array-backed position maps (the delta engine's
+            # searchsorted variant) resolve whole batches at once
+            return vectorized(np.asarray(eids, dtype=np.int64))
         return np.fromiter(
             (pos_of[e] for e in eids), dtype=np.int64, count=len(eids)
         )

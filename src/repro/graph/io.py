@@ -5,8 +5,16 @@ Formats (all plain text, comment lines start with ``#``):
 * graph: first non-comment line ``n <vertices>``; then one ``u v`` pair
   per line (parallel edges = repeated lines; edge ids are assigned in
   file order, so colorings round-trip);
+* SNAP-style graph: no header — just ``u v`` (or ``u v w``; weights
+  are ignored) pairs, tabs or spaces, ``#`` comment lines skipped.
+  Vertices are ``0..max id`` (gaps become isolated vertices);
 * coloring: ``<edge id> <color>`` per line;
 * palettes: ``<edge id> c1 c2 c3 ...`` per line.
+
+:func:`read_edge_list` accepts both graph formats and returns a
+:class:`MultiGraph`; :func:`iter_edge_chunks` streams either format as
+``(k, 2)`` index arrays without ever holding the file in memory — the
+front end of the out-of-core ``CSRGraph.from_edge_iter`` ingest.
 
 Structured results additionally round-trip as JSON
 (:func:`write_result_json` / :func:`read_result_json`), carrying the
@@ -47,34 +55,112 @@ def write_edge_list(graph: MultiGraph, target: PathOrIO) -> None:
             handle.close()
 
 
+def _parse_edge(parts: List[str], line_number: int) -> Tuple[int, int]:
+    """One SNAP-style edge line: ``u v`` or ``u v weight`` (weight
+    ignored)."""
+    if len(parts) not in (2, 3):
+        raise GraphError(
+            f"line {line_number}: expected 'u v [weight]', "
+            f"got {' '.join(parts)!r}"
+        )
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise GraphError(
+            f"line {line_number}: endpoints must be integers, "
+            f"got {' '.join(parts)!r}"
+        ) from None
+
+
 def read_edge_list(source: PathOrIO) -> MultiGraph:
-    """Parse a multigraph from an edge list (see module docstring)."""
+    """Parse a multigraph from an edge list (see module docstring).
+
+    Both graph formats are accepted: the native one (``n <count>``
+    header, then ``u v`` pairs) and headerless SNAP-style files (``u v``
+    or ``u v weight`` per line, weights ignored, ``#`` comments
+    skipped, vertex set ``0..max id``).  Edge ids are assigned in file
+    order in both.
+    """
     handle, owned = _open_for(source, "r")
     try:
         graph: MultiGraph = MultiGraph()
         saw_header = False
+        saw_edges = False
+        snap_edges: List[Tuple[int, int]] = []
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
-            if not saw_header:
-                if parts[0] != "n" or len(parts) != 2:
+            if not saw_header and not saw_edges:
+                if parts[0] == "n":
+                    if len(parts) != 2:
+                        raise GraphError(
+                            f"line {line_number}: expected 'n <count>' "
+                            f"header, got {line!r}"
+                        )
+                    graph = MultiGraph.with_vertices(int(parts[1]))
+                    saw_header = True
+                    continue
+                saw_edges = True  # headerless SNAP stream
+            u, v = _parse_edge(parts, line_number)
+            saw_edges = True
+            if saw_header:
+                if len(parts) != 2:
                     raise GraphError(
-                        f"line {line_number}: expected 'n <count>' header, "
-                        f"got {line!r}"
+                        f"line {line_number}: expected 'u v', got {line!r}"
                     )
-                graph = MultiGraph.with_vertices(int(parts[1]))
-                saw_header = True
-                continue
-            if len(parts) != 2:
-                raise GraphError(
-                    f"line {line_number}: expected 'u v', got {line!r}"
-                )
-            graph.add_edge(int(parts[0]), int(parts[1]))
+                graph.add_edge(u, v)
+            else:
+                snap_edges.append((u, v))
         if not saw_header:
-            raise GraphError("edge list has no 'n <count>' header")
+            if not saw_edges:
+                raise GraphError(
+                    "edge list has no 'n <count>' header and no edges"
+                )
+            top = max(max(u, v) for u, v in snap_edges)
+            if min(min(u, v) for u, v in snap_edges) < 0:
+                raise GraphError("edge endpoints must be nonnegative")
+            graph = MultiGraph.with_vertices(top + 1)
+            for u, v in snap_edges:
+                graph.add_edge(u, v)
         return graph
+    finally:
+        if owned:
+            handle.close()
+
+
+def iter_edge_chunks(source: PathOrIO, chunk_edges: int = 1 << 20):
+    """Stream an edge-list / SNAP file as ``(k, 2)`` int64 arrays.
+
+    Accepts the same two formats as :func:`read_edge_list` (an
+    ``n <count>`` header line, when present, is skipped — the chunked
+    CSR ingest infers or receives ``n`` itself) and never holds more
+    than ``chunk_edges`` edges in memory, which is what lets
+    ``CSRGraph.from_edge_iter(path, mmap_dir=...)`` ingest 10^7+-edge
+    files out-of-core.
+    """
+    import numpy as np
+
+    handle, owned = _open_for(source, "r")
+    try:
+        buffer: List[Tuple[int, int]] = []
+        first = True
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if first:
+                first = False
+                if parts[0] == "n" and len(parts) == 2:
+                    continue
+            buffer.append(_parse_edge(parts, line_number))
+            if len(buffer) >= chunk_edges:
+                yield np.asarray(buffer, dtype=np.int64)
+                buffer = []
+        if buffer:
+            yield np.asarray(buffer, dtype=np.int64)
     finally:
         if owned:
             handle.close()

@@ -1,0 +1,497 @@
+"""Shared-memory process fan-out for the wave engine.
+
+The thread pools in :mod:`repro.parallel.engine` scale the numpy slice
+kernels (they release the GIL) but cap every Python-bound wave kernel
+at single-core throughput.  This module supplies the pieces the
+``backend="mp"`` substrate needs to fan those waves out over worker
+**processes** instead:
+
+* **Shared arrays** — the frozen CSR snapshot arrays and the per-run
+  state arrays (``alive`` / ``remaining`` / distance masks) are
+  published once into ``multiprocessing.shared_memory`` segments (or
+  referenced in place when they are already ``np.memmap``-backed, the
+  out-of-core case), so worker processes map them zero-copy instead of
+  pickling hundreds of megabytes per wave.
+* **Shared kernels** — a :class:`SharedKernel` names a *module-level*
+  kernel function plus the shared arrays it reads.  It pickles as a
+  few hundred bytes (function path + segment descriptors), runs
+  inline/on threads exactly like the closure it replaces, and runs in
+  a worker process by attaching the named segments.  Workers only ever
+  *read* shared state (attached arrays are marked read-only); results
+  ship back as compact per-shard buffers for the engine's single-writer
+  reconcile, so the bit-identical-across-worker-counts contract of
+  :class:`~repro.parallel.engine.WaveEngine` carries over unchanged.
+* **Process pools** — one spawn-context ``ProcessPoolExecutor`` per
+  worker count, mirroring the thread-pool lifecycle: created on first
+  use, reused across waves, torn down by :func:`mp_shutdown` (called
+  from ``repro.parallel.engine.shutdown()``, which is atexit-registered
+  and invoked on the serve daemon's SIGTERM path).  The spawn context
+  is deliberate: workers start from a fresh interpreter, so they
+  inherit no lazily-mutated parent state (RNG positions, cached env
+  reads) — fork would silently copy both.
+
+Segment lifecycle
+-----------------
+
+Every segment this process creates is tracked in a registry and
+unlinked by :func:`release_shared` — reached via ``engine.shutdown()``,
+atexit, and the daemon's signal handlers — so ``/dev/shm`` never
+accumulates leaked ``repro-shm-*`` files.  Worker-side attachments are
+explicitly unregistered from the ``multiprocessing`` resource tracker:
+CPython registers *attached* segments for cleanup too, so a worker
+exiting would otherwise unlink segments the master still uses
+(python/cpython#82300).
+
+``REPRO_MP_WORKERS`` sizes the process pools (read once, like
+``REPRO_SHARD_WORKERS``); ``REPRO_FORCE_MP`` (read in
+:mod:`repro.graph.csr`) reroutes backend resolution through ``"mp"``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = [
+    "SharedArrayRef",
+    "SharedKernel",
+    "shared_kernel",
+    "share_array",
+    "shared_state",
+    "release_shared",
+    "owned_segments",
+    "resolve_mp_workers",
+    "mp_shutdown",
+    "mp_pool_stats",
+    "map_on_mp_pool",
+    "MAX_INLINE_BYTES",
+    "MP_FAN_OUT_MIN_HALF_EDGES",
+    "MP_FAN_OUT_MIN_SCAN_VERTICES",
+]
+
+#: process dispatch costs ~1ms (pickle + queue + result pickle), ~20x a
+#: thread dispatch, so the mp fan-out gates sit an order of magnitude
+#: above the thread gates.  Like those, they read only wave content —
+#: the inline/pool decision can never perturb results.
+MP_FAN_OUT_MIN_HALF_EDGES = 262_144
+MP_FAN_OUT_MIN_SCAN_VERTICES = 262_144
+
+#: read-only arrays at or below this many bytes ride along inside the
+#: pickled kernel instead of getting a segment: a scalar threshold or a
+#: small seed list is cheaper to copy than to map.
+MAX_INLINE_BYTES = 16_384
+
+
+# ----------------------------------------------------------------------
+# Worker resolution (REPRO_MP_WORKERS, read once)
+# ----------------------------------------------------------------------
+
+_ENV_MP_WORKERS: Optional[int] = None
+_ENV_MP_WORKERS_READ = False
+
+
+def _env_mp_workers() -> Optional[int]:
+    """The cached ``REPRO_MP_WORKERS`` value (single read per process;
+    tests reset the sentinel to re-read)."""
+    global _ENV_MP_WORKERS, _ENV_MP_WORKERS_READ
+    if not _ENV_MP_WORKERS_READ:
+        raw = os.environ.get("REPRO_MP_WORKERS", "").strip()
+        _ENV_MP_WORKERS = int(raw) if raw else None
+        _ENV_MP_WORKERS_READ = True
+    return _ENV_MP_WORKERS
+
+
+def resolve_mp_workers(workers: int = 0) -> int:
+    """Concrete process count for a ``workers`` knob (0 = auto).
+
+    Auto honors ``REPRO_MP_WORKERS`` when set, else falls back to the
+    machine's cores capped at the engine's ``MAX_AUTO_WORKERS``.  Like
+    every worker knob here, the count never changes results.
+    """
+    if workers < 0:
+        raise GraphError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        env = _env_mp_workers()
+        if env is not None and env > 0:
+            return env
+        from .engine import MAX_AUTO_WORKERS
+
+        return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Shared array publication (master side)
+# ----------------------------------------------------------------------
+
+
+class SharedArrayRef(NamedTuple):
+    """Picklable descriptor a worker process resolves to an ndarray.
+
+    ``kind`` is ``"shm"`` (``where`` = segment name), ``"mmap"``
+    (``where`` = backing file path, plus ``offset`` into it), or
+    ``"inline"`` (``where`` = the raw bytes; small read-only arrays
+    ride inside the pickle).
+    """
+
+    kind: str
+    where: object
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int = 0
+
+
+#: segments created by this process: name -> SharedMemory (owner handle)
+_OWNED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: read-only publications: id(array) -> (strong ref keeping the id
+#: stable, its descriptor).  Cleared by release_shared().
+_EXPORTS: Dict[int, Tuple[np.ndarray, SharedArrayRef]] = {}
+
+_SEGMENT_SEQ = itertools.count()
+
+
+def _untrack(name: str) -> None:
+    """Withdraw a segment from the ``multiprocessing`` resource
+    tracker.  The tracker keys by name in one process-tree-wide set, so
+    a worker's attach-then-exit would unregister (and at tracker
+    shutdown, unlink) segments the master still owns
+    (python/cpython#82300).  This module owns cleanup itself —
+    :func:`release_shared` on shutdown/atexit/SIGTERM; a SIGKILLed
+    process leaves ``/dev/shm/repro-shm-*`` files for manual removal
+    (documented in docs/api.md)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker API is private-ish
+        pass
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    name = f"repro-shm-{os.getpid()}-{next(_SEGMENT_SEQ)}"
+    seg = shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, nbytes)
+    )
+    _untrack(seg.name)
+    _OWNED[seg.name] = seg
+    return seg
+
+
+def _as_contiguous(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array)
+
+
+def share_array(array: np.ndarray) -> SharedArrayRef:
+    """Publish a **frozen** array for worker processes; returns its ref.
+
+    ``np.memmap`` arrays are referenced by their backing file (nothing
+    to copy — the out-of-core snapshot case); tiny arrays inline into
+    the descriptor; everything else is copied once into a shared-memory
+    segment.  Publications are cached by array identity (the registry
+    keeps the array alive, so ids cannot be reused while cached) —
+    per-wave kernel construction costs a dict hit.
+
+    The caller promises the array is immutable for the lifetime of the
+    publication: segment copies do not track later master-side writes.
+    Mutable per-run state goes through :func:`shared_state` instead.
+    """
+    # repro: allow(det-id) — pure identity-keyed publication cache: the
+    # id is never ordered, serialized or exposed; the registry holds a
+    # strong ref, so the key cannot be reused while the entry lives, and
+    # a miss only re-publishes the same bytes.
+    cached = _EXPORTS.get(id(array))
+    if cached is not None and cached[0] is array:
+        return cached[1]
+    if (
+        isinstance(array, np.memmap)
+        and getattr(array, "filename", None) is not None
+        and array.flags["C_CONTIGUOUS"]
+    ):
+        ref = SharedArrayRef(
+            "mmap",
+            str(array.filename),
+            array.dtype.str,
+            tuple(array.shape),
+            int(array.offset),
+        )
+    elif array.nbytes <= MAX_INLINE_BYTES:
+        ref = SharedArrayRef(
+            "inline",
+            _as_contiguous(array).tobytes(),
+            array.dtype.str,
+            tuple(array.shape),
+        )
+    else:
+        seg = _new_segment(array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+        view[...] = array
+        ref = SharedArrayRef(
+            "shm", seg.name, array.dtype.str, tuple(array.shape)
+        )
+    # repro: allow(det-id) — same identity-keyed cache write as above.
+    _EXPORTS[id(array)] = (array, ref)
+    return ref
+
+
+def shared_state(array: np.ndarray) -> np.ndarray:
+    """Move mutable per-run state into a segment; returns the
+    segment-backed replacement (same contents).
+
+    The master keeps writing the returned view in its reconcile phase;
+    worker processes attach the same physical pages read-only, so every
+    wave's kernels see exactly the pre-wave state the thread backend's
+    kernels would — the single-writer contract is unchanged.  The
+    replacement registers in :func:`share_array`'s cache, so kernels
+    reference it like any published array.
+    """
+    seg = _new_segment(array.nbytes)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+    view[...] = array
+    ref = SharedArrayRef(
+        "shm", seg.name, array.dtype.str, tuple(array.shape)
+    )
+    # repro: allow(det-id) — identity-keyed cache registration (see
+    # share_array); the id never influences results or ordering.
+    _EXPORTS[id(view)] = (view, ref)
+    return view
+
+
+def owned_segments() -> List[str]:
+    """Names of the live segments this process owns (tests assert this
+    drains to [] after ``engine.shutdown()``)."""
+    return sorted(_OWNED)
+
+
+def release_shared() -> None:
+    """Close and unlink every owned segment and drop the publication
+    cache.  Idempotent; reached from ``engine.shutdown()``, atexit, and
+    the serve daemon's signal path.  Shut the process pools down first
+    so no worker is mid-wave on a segment being unlinked."""
+    _EXPORTS.clear()
+    segments = list(_OWNED.values())
+    _OWNED.clear()
+    for seg in segments:
+        try:
+            seg.close()
+            # unlink() withdraws the segment from the resource tracker;
+            # restore the registration _untrack() removed first so the
+            # tracker process never logs a KeyError for the mismatch.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(f"/{seg.name}", "shared_memory")
+            except Exception:  # pragma: no cover
+                pass
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # already gone: fine
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment
+# ----------------------------------------------------------------------
+
+#: per-worker attachment cache: ref -> (keepalive handle, array view)
+_ATTACHED: Dict[SharedArrayRef, Tuple[object, np.ndarray]] = {}
+
+
+def _attach(ref: SharedArrayRef) -> np.ndarray:
+    cached = _ATTACHED.get(ref)
+    if cached is not None:
+        return cached[1]
+    if ref.kind == "shm":
+        # The tracker registers *attached* segments too, and a worker
+        # exiting would then unlink segments the master still uses
+        # (python/cpython#82300).  Suppress the registration up front
+        # rather than register-then-withdraw: with several workers
+        # attaching the same segment, interleaved REGISTER/UNREGISTER
+        # pairs collapse in the tracker's name set and the surplus
+        # unregister logs a KeyError at tracker shutdown.  Workers run
+        # tasks serially, so the swap cannot race in-process.
+        try:
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+        except Exception:  # pragma: no cover - tracker API is private-ish
+            original = None
+        try:
+            seg = shared_memory.SharedMemory(name=ref.where)
+        finally:
+            if original is not None:
+                resource_tracker.register = original
+        array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+        keepalive: object = seg
+    elif ref.kind == "mmap":
+        array = np.memmap(
+            ref.where,
+            mode="r",
+            dtype=np.dtype(ref.dtype),
+            shape=ref.shape,
+            offset=ref.offset,
+        )
+        keepalive = array
+    elif ref.kind == "inline":
+        array = np.frombuffer(
+            ref.where, dtype=np.dtype(ref.dtype)
+        ).reshape(ref.shape)
+        keepalive = array
+    else:
+        raise GraphError(f"unknown shared array kind {ref.kind!r}")
+    # Kernels only read shared state; make a worker-side write a hard
+    # error instead of a silent determinism bug.
+    array.flags.writeable = False
+    _ATTACHED[ref] = (keepalive, array)
+    return array
+
+
+def _run_shared_task(task):
+    """Worker entry point: resolve the kernel function, attach its
+    arrays, run one shard slice, return the compact result buffer."""
+    module, qualname, ref_items, args, part = task
+    fn = getattr(importlib.import_module(module), qualname)
+    arrays = {name: _attach(ref) for name, ref in ref_items}
+    return fn(arrays, part, *args)
+
+
+# ----------------------------------------------------------------------
+# Shared kernels
+# ----------------------------------------------------------------------
+
+
+class SharedKernel:
+    """A picklable wave kernel: module-level function + shared arrays.
+
+    Inline (and on the thread pool) it behaves exactly like the closure
+    it replaces: ``kernel(part)`` for gathers, ``kernel(lo, hi)`` for
+    shard scans and range maps — so every engine fallback path keeps
+    byte-identical results.  Dispatched to a worker process it ships as
+    ``(function path, array descriptors, args, part)`` and the worker
+    runs the same function against its attached arrays.
+    """
+
+    __slots__ = ("fn", "refs", "local", "args")
+
+    def __init__(self, fn, arrays: Dict[str, np.ndarray], args: Tuple = ()):
+        if fn.__qualname__ != fn.__name__ or fn.__module__ == "__main__":
+            raise GraphError(
+                "shared kernel functions must be module-level importables "
+                f"(got {fn.__module__}.{fn.__qualname__})"
+            )
+        self.fn = fn
+        self.refs = {name: share_array(arr) for name, arr in arrays.items()}
+        self.local = dict(arrays)
+        self.args = tuple(args)
+
+    def with_args(self, *args) -> "SharedKernel":
+        """A cheap clone carrying per-wave scalar arguments (the arrays
+        and their publications are reused)."""
+        clone = SharedKernel.__new__(SharedKernel)
+        clone.fn = self.fn
+        clone.refs = self.refs
+        clone.local = self.local
+        clone.args = tuple(args)
+        return clone
+
+    def task(self, part) -> Tuple:
+        """The pickled payload for one shard slice."""
+        return (
+            self.fn.__module__,
+            self.fn.__qualname__,
+            tuple(self.refs.items()),
+            self.args,
+            part,
+        )
+
+    def __call__(self, a, b=None):
+        part = a if b is None else (int(a), int(b))
+        return self.fn(self.local, part, *self.args)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedKernel({self.fn.__module__}.{self.fn.__qualname__}, "
+            f"arrays={sorted(self.refs)})"
+        )
+
+
+def shared_kernel(fn, arrays: Dict[str, np.ndarray], args: Tuple = ()) -> SharedKernel:
+    """Convenience constructor (publication cache makes this cheap to
+    call per wave)."""
+    return SharedKernel(fn, arrays, args)
+
+
+# ----------------------------------------------------------------------
+# Process pools (spawn context, engine-style lifecycle)
+# ----------------------------------------------------------------------
+
+_MP_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_MP_DISPATCHES = 0
+
+
+def _mp_pool_for(workers: int) -> ProcessPoolExecutor:
+    pool = _MP_POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        )
+        _MP_POOLS[workers] = pool
+    return pool
+
+
+def mp_shutdown(wait: bool = True) -> None:
+    """Shut down every process pool (idempotent; pools recreate lazily).
+    Called by ``engine.shutdown()`` before segments unlink."""
+    pools = list(_MP_POOLS.values())
+    _MP_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+def mp_pool_stats() -> Dict[str, int]:
+    """Process-pool and segment statistics, merged into
+    :func:`repro.parallel.engine.pool_stats`."""
+    return {
+        "mp_pools": len(_MP_POOLS),
+        "mp_workers": sum(_MP_POOLS.keys()),
+        "mp_dispatches": _MP_DISPATCHES,
+        "shm_segments": len(_OWNED),
+    }
+
+
+def _note_mp_dispatch() -> None:
+    global _MP_DISPATCHES
+    _MP_DISPATCHES += 1
+
+
+def map_on_mp_pool(
+    workers: int, kernel: SharedKernel, parts
+) -> Optional[list]:
+    """Run one wave's shard slices on the process pool; ``None`` when
+    the pool rejected the work (shutdown race, broken pool) — callers
+    fall back to the thread/inline path, same results by construction.
+    Kernel exceptions propagate: only infrastructure failures trigger
+    the fallback."""
+    pool = _mp_pool_for(workers)
+    tasks = [kernel.task(part) for part in parts]
+    try:
+        results = list(pool.map(_run_shared_task, tasks))
+    except RuntimeError:  # includes BrokenProcessPool / after-shutdown
+        if _MP_POOLS.get(workers) is pool:
+            del _MP_POOLS[workers]
+        return None
+    _note_mp_dispatch()
+    return results
+
+
+atexit.register(release_shared)
+atexit.register(mp_shutdown)

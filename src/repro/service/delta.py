@@ -56,7 +56,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import GraphError
-from ..graph.csr import CSRGraph, _concat_ranges, _half_edge_csr, mutation_fingerprint
+from ..graph.csr import (
+    CSRGraph,
+    EdgeArrayMap,
+    _concat_ranges,
+    _half_edge_csr,
+    mutation_fingerprint,
+)
 from ..decomposition.hpartition import (
     default_threshold,
     install_wave_oracle,
@@ -191,45 +197,64 @@ class DeltaInfo:
 # ----------------------------------------------------------------------
 
 
-class _LazyEidPos:
-    """Deferred ``edge id -> dense position`` mapping for patched
+class _SortedEidPos:
+    """Array-backed ``edge id -> dense position`` mapping for patched
     snapshots.
 
-    Building the dict eagerly costs O(m) Python-object work per delta
-    batch — the single largest line in the incremental path — yet the
-    delta engine itself never reads it: only full-decompose consumers
-    (``edge_positions`` / ``endpoints`` / ``endpoint_maps``) do, and
-    only when edge ids are non-dense.  So the dict materializes on
-    first lookup instead.  Snapshots are immutable, so the mapping
-    never invalidates once built.
+    Patched edge ids ascend by construction (the kept prefix preserves
+    the old ascending order and fresh insert ids are larger still), so
+    a position lookup is one binary search over the snapshot's own
+    ``edge_id`` array — no side structure at all.  The dict this
+    replaces cost O(m) Python-object work per delta batch (its deferred
+    variant still paid the full materialization on the first consumer
+    lookup); scalar probes now run ``searchsorted``, and
+    :meth:`positions` resolves whole batches vectorized —
+    ``CSRGraph.edge_positions`` calls it when present, so the
+    full-decompose consumers (sub-CSR extraction, endpoint maps) never
+    build a dict either.  Snapshots are immutable, so the mapping is
+    valid forever.
     """
 
-    __slots__ = ("_edge_id", "_map")
+    __slots__ = ("_edge_id",)
 
     def __init__(self, edge_id: np.ndarray) -> None:
         self._edge_id = edge_id
-        self._map: Optional[Dict[int, int]] = None
 
-    def _materialize(self) -> Dict[int, int]:
-        if self._map is None:
-            eids = self._edge_id.tolist()
-            self._map = dict(zip(eids, range(len(eids))))
-        return self._map
+    def positions(self, eids: np.ndarray) -> np.ndarray:
+        """Dense positions of a whole id batch (vectorized); raises
+        ``KeyError`` on the first unknown id, like the dict would."""
+        edge_id = self._edge_id
+        found = np.searchsorted(edge_id, eids)
+        clipped = np.minimum(found, edge_id.shape[0] - 1)
+        bad = (found >= edge_id.shape[0]) | (edge_id[clipped] != eids)
+        if np.any(bad):
+            raise KeyError(int(np.asarray(eids)[bad][0]))
+        return found
+
+    def _find(self, eid: int) -> int:
+        pos = int(np.searchsorted(self._edge_id, eid))
+        if pos >= int(self._edge_id.shape[0]) or int(self._edge_id[pos]) != eid:
+            return -1
+        return pos
 
     def __getitem__(self, eid: int) -> int:
-        return self._materialize()[eid]
+        pos = self._find(eid)
+        if pos < 0:
+            raise KeyError(eid)
+        return pos
 
     def get(self, eid, default=None):
-        return self._materialize().get(eid, default)
+        pos = self._find(eid)
+        return default if pos < 0 else pos
 
     def __contains__(self, eid) -> bool:
-        return eid in self._materialize()
+        return self._find(int(eid)) >= 0
 
     def __len__(self) -> int:
         return int(self._edge_id.shape[0])
 
     def __iter__(self):
-        return iter(self._materialize())
+        return iter(self._edge_id.tolist())
 
 
 def patched_snapshot(
@@ -276,7 +301,7 @@ def patched_snapshot(
     identity_edges = bool(
         m == 0 or np.array_equal(edge_id, np.arange(m, dtype=np.int64))
     )
-    eid_pos = None if identity_edges else _LazyEidPos(edge_id)
+    eid_pos = None if identity_edges else _SortedEidPos(edge_id)
     offsets, neighbor_ids, edge_ids = _half_edge_csr(
         old.num_vertices, edge_u, edge_v, edge_id
     )
@@ -641,9 +666,7 @@ def _prime_watch_extras(session, state: DeltaState, ws: WatchState) -> None:
     else:
         snap = session.snapshot()
         tails_ids, _tails_idx = _tails_arrays(snap, entry.waves)
-        ws.extras["orientation"] = dict(
-            zip(snap.edge_id.tolist(), tails_ids.tolist())
-        )
+        ws.extras["orientation"] = EdgeArrayMap(snap.edge_id, tails_ids)
 
 
 # ----------------------------------------------------------------------
@@ -653,47 +676,39 @@ def _prime_watch_extras(session, state: DeltaState, ws: WatchState) -> None:
 
 def _patched_orientation(
     session, ws: WatchState, info: DeltaInfo
-) -> Optional[Tuple[Dict[int, int], np.ndarray, int]]:
+) -> Optional[Tuple[EdgeArrayMap, np.ndarray, int]]:
     """Shared incremental core of the orientation/pseudoforest
-    refreshers: returns ``(orientation dict, tail dense indices per
-    edge position, threshold)`` or None when repair is impossible."""
+    refreshers: returns ``(orientation mapping, tail dense indices per
+    edge position, threshold)`` or None when repair is impossible.
+
+    The patch tail is flat array work end to end: the Theorem 2.1(2)
+    rule is a pure function of the repaired waves and the patched edge
+    arrays, so the new orientation is one vectorized
+    :func:`_tails_arrays` pass wrapped in an
+    :class:`~repro.graph.csr.EdgeArrayMap` — no O(m) dict copy, no
+    per-edge scatter loop.  Unaffected edges recompute to exactly
+    their previous tails (neither endpoint's wave changed), so the
+    result is bit-identical to the historical copy-pop-patch dict.
+    The primed ``extras["orientation"]`` entry still gates the path:
+    its absence means the last full run predates this watch's scratch
+    and repair must fall back.
+    """
     state = getattr(session, "_delta_state", None)
     if state is None:
         return None
-    previous = ws.extras.get("orientation")
-    if previous is None:
+    if ws.extras.get("orientation") is None:
         return None
     threshold = _watch_threshold(session, ws)
     if threshold is None or threshold != ws.extras.get("threshold"):
         return None
-    changed = info.changed_by_threshold.get(threshold)
-    if changed is None:
+    if info.changed_by_threshold.get(threshold) is None:
         return None
     entry = state.oracle.entry(threshold, session.fingerprint())
     if entry is None:
         return None
     snap = info.new_snapshot
     tails_ids, tails_idx = _tails_arrays(snap, entry.waves)
-    orientation = dict(previous)
-    for eid, _u, _v in info.deletes:
-        orientation.pop(eid, None)
-    num_inserted = len(info.inserts)
-    m = snap.num_edges
-    if changed.size:
-        dirty = np.zeros(snap.num_vertices, dtype=bool)
-        dirty[changed] = True
-        affected = np.flatnonzero(dirty[snap.edge_u] | dirty[snap.edge_v])
-    else:
-        affected = np.empty(0, dtype=np.int64)
-    if num_inserted:
-        affected = np.union1d(
-            affected, np.arange(m - num_inserted, m, dtype=np.int64)
-        )
-    for eid, tail in zip(
-        snap.edge_id[affected].tolist(), tails_ids[affected].tolist()
-    ):
-        orientation[eid] = tail
-    return orientation, tails_idx, threshold
+    return EdgeArrayMap(snap.edge_id, tails_ids), tails_idx, threshold
 
 
 def _refresh_orientation(session, ws: WatchState, info: DeltaInfo):
@@ -712,13 +727,14 @@ def _refresh_orientation(session, ws: WatchState, info: DeltaInfo):
 
 def _fold_pseudoforests(
     edge_id: np.ndarray, tails_idx: np.ndarray
-) -> Dict[int, int]:
+) -> "EdgeArrayMap | Dict[int, int]":
     """Vectorized equivalent of
     :func:`~repro.nashwilliams.pseudoarboricity.
     pseudoforest_decomposition_from_orientation`: rank each edge among
     its tail's out-edges in ascending edge-id order (edge positions
     ascend by id, so a stable argsort by tail gives the running
-    index)."""
+    index).  Returns an array-backed mapping — dict-equal to the
+    reference fold, without m boxed ints."""
     m = int(edge_id.shape[0])
     if m == 0:
         return {}
@@ -732,7 +748,7 @@ def _fold_pseudoforests(
     ranks = np.arange(m, dtype=np.int64) - start_per_item
     k = np.empty(m, dtype=np.int64)
     k[order] = ranks
-    return dict(zip(edge_id.tolist(), k.tolist()))
+    return EdgeArrayMap(edge_id, k)
 
 
 def _refresh_pseudoforest(session, ws: WatchState, info: DeltaInfo):

@@ -1,0 +1,59 @@
+"""Module-level kernels for the shared-memory process-pool tests.
+
+:class:`repro.parallel.shm.SharedKernel` only accepts module-level
+importables (worker processes resolve them by ``module.qualname``), so
+the test kernels live here rather than inside test functions.  Each
+follows the shared-kernel calling convention: ``fn(arrays, part,
+*args)`` where ``part`` is either an index array (gather waves) or a
+``(lo, hi)`` range (shard scans / range maps).
+"""
+
+import os
+
+import numpy as np
+
+
+def double_slice(arrays, part):
+    """Range-map kernel: double one contiguous slice of ``values``."""
+    lo, hi = part
+    return arrays["values"][lo:hi] * 2
+
+
+def offset_slice(arrays, part, delta):
+    """Range-map kernel with a per-wave scalar arg (``with_args``)."""
+    lo, hi = part
+    return arrays["values"][lo:hi] + delta
+
+
+def gather_vals(arrays, part):
+    """Gather kernel: fancy-index ``values`` by a work-list slice."""
+    return arrays["values"][part]
+
+
+def positive_scan(arrays, part):
+    """Shard-scan kernel: global indices of positive ``values`` in
+    one shard range (mirrors the peeling scan's shape)."""
+    lo, hi = part
+    local = np.flatnonzero(arrays["values"][lo:hi] > 0)
+    if local.size and lo:
+        local += lo
+    return local
+
+
+def read_state(arrays, part):
+    """Copy one slice of the mutable ``state`` segment (asserts the
+    master's single-writer updates are visible to workers)."""
+    lo, hi = part
+    return arrays["state"][lo:hi].copy()
+
+
+def raise_value_error(arrays, part):
+    """Kernel exceptions must propagate to the caller (only
+    infrastructure failures trigger the inline fallback)."""
+    raise ValueError("kernel failure propagates")
+
+
+def kill_worker(arrays, part):
+    """Hard-kill the worker mid-task: breaks the pool, which callers
+    must survive via the ``map_on_mp_pool -> None`` fallback."""
+    os._exit(13)

@@ -353,9 +353,9 @@ def test_orientation_hpartition_sharded_uses_session_plan(monkeypatch):
     seen_plans = []
     original_init = shard_module.ShardedPeelingView.__init__
 
-    def recording_init(self, snapshot, plan=None, workers=0):
+    def recording_init(self, snapshot, plan=None, workers=0, mp=False):
         seen_plans.append(plan)
-        original_init(self, snapshot, plan, workers)
+        original_init(self, snapshot, plan, workers, mp=mp)
 
     monkeypatch.setattr(
         shard_module.ShardedPeelingView, "__init__", recording_init

@@ -45,9 +45,23 @@ def test_edge_list_file_roundtrip(tmp_path):
     assert read_edge_list(path) == g
 
 
-def test_edge_list_missing_header():
+def test_edge_list_headerless_is_snap():
+    # A headerless pair stream is a SNAP-style file: vertices 0..max id,
+    # edge ids in file order, optional third column (weight) ignored.
+    g = read_edge_list(io.StringIO("# comment\n0 1\n2\t0\t7.5\n"))
+    assert g.n == 3
+    assert g.m == 2
+    assert sorted((u, v) for _eid, u, v in g.edges()) == [(0, 1), (2, 0)]
+
+
+def test_edge_list_empty_headerless_raises():
     with pytest.raises(GraphError):
-        read_edge_list(io.StringIO("0 1\n"))
+        read_edge_list(io.StringIO("# nothing here\n"))
+
+
+def test_edge_list_snap_negative_vertex_raises():
+    with pytest.raises(GraphError):
+        read_edge_list(io.StringIO("0 1\n-1 2\n"))
 
 
 def test_edge_list_bad_line():

@@ -520,6 +520,7 @@ def test_resolve_backend_sharded_size_fallback(monkeypatch):
     # REPRO_FORCE_PARALLEL reroutes csr-resolved traversal callsites,
     # which is exactly what this test pins down for the default env.
     monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+    monkeypatch.delenv("REPRO_FORCE_MP", raising=False)
     small = MultiGraph.with_vertices(10)
     assert resolve_backend(small, "sharded", peeling=True) == "csr"
 

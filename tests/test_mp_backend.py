@@ -1,0 +1,347 @@
+"""The shared-memory multiprocess backend (``backend="mp"``).
+
+Three layers, bottom up:
+
+* the :mod:`repro.parallel.shm` primitives — array publication
+  (inline / segment / publication cache), shared mutable state with
+  master-side writes visible to workers, kernel pickling rules, the
+  process-pool dispatch path and its infrastructure-failure fallback;
+* the :class:`~repro.parallel.engine.MPWaveEngine` wave primitives
+  (``gather`` / ``scan_shards`` / ``map_ranges``), asserted
+  bit-identical to the serial/thread :class:`WaveEngine` with the
+  fan-out gates zeroed so the small test graphs genuinely dispatch to
+  worker processes;
+* end to end: mp :class:`~repro.graph.shard.ShardedPeelingView` waves
+  reproduce the serial :class:`~repro.graph.csr.PeelingView` peel
+  order exactly, for workers in {1, 2, 4} x multi-shard plans — the
+  same contract the thread backend proves in
+  ``test_kernel_equivalence``, here over real spawn-context processes;
+
+plus the segment lifecycle: every test ends with ``/dev/shm`` clean
+(the PR 8 pool-reclaim guarantee extended to shm segments).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import _shm_kernels as kern
+from test_kernel_equivalence import random_multigraph
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph
+from repro.graph.csr import PeelingView
+from repro.graph.shard import ShardPlan, ShardedPeelingView
+from repro.parallel import engine as engine_mod
+from repro.parallel.engine import (
+    MPWaveEngine,
+    WaveEngine,
+    engine_for,
+    engine_for_offsets,
+)
+from repro.parallel.shm import (
+    MAX_INLINE_BYTES,
+    MP_FAN_OUT_MIN_HALF_EDGES,
+    MP_FAN_OUT_MIN_SCAN_VERTICES,
+    SharedKernel,
+    map_on_mp_pool,
+    mp_pool_stats,
+    owned_segments,
+    release_shared,
+    resolve_mp_workers,
+    share_array,
+    shared_state,
+)
+
+
+def _shm_files():
+    """``/dev/shm`` entries owned by this process's segment namespace."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-tmpfs platform
+        return []
+    prefix = f"repro-shm-{os.getpid()}-"
+    return sorted(f for f in os.listdir(root) if f.startswith(prefix))
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """Segments created by a test must be reclaimed by
+    ``release_shared`` — and actually disappear from ``/dev/shm``.
+    (Process pools stay warm across tests; only segments are per-test.)
+    """
+    yield
+    release_shared()
+    assert owned_segments() == []
+    assert _shm_files() == []
+
+
+# ----------------------------------------------------------------------
+# shm primitives
+# ----------------------------------------------------------------------
+
+
+def test_resolve_mp_workers():
+    assert resolve_mp_workers(3) == 3
+    assert resolve_mp_workers(0) >= 1
+    with pytest.raises(GraphError):
+        resolve_mp_workers(-1)
+
+
+def test_shared_kernel_rejects_non_module_level_functions():
+    values = np.arange(4, dtype=np.int64)
+
+    def nested(arrays, part):  # pragma: no cover - never called
+        return arrays["values"]
+
+    with pytest.raises(GraphError):
+        SharedKernel(nested, {"values": values})
+    with pytest.raises(GraphError):
+        SharedKernel(lambda arrays, part: None, {"values": values})
+
+
+def test_share_array_inlines_small_and_segments_large():
+    small = np.arange(8, dtype=np.int64)
+    assert small.nbytes <= MAX_INLINE_BYTES
+    before = owned_segments()
+    ref_small = share_array(small)
+    assert ref_small.kind == "inline"
+    assert owned_segments() == before  # no segment for inline arrays
+
+    large = np.arange(MAX_INLINE_BYTES, dtype=np.int64)  # 8x the cutoff
+    ref_large = share_array(large)
+    assert ref_large.kind == "shm"
+    assert ref_large.where in owned_segments()
+    assert _shm_files()  # segment is a real /dev/shm file
+
+    # publication cache: same array object -> same descriptor, no new
+    # segment
+    assert share_array(large) is ref_large
+    assert len(owned_segments()) == len(before) + 1
+
+
+def test_shared_kernel_inline_call_matches_plain_function():
+    values = np.arange(40, dtype=np.int64)
+    ranged = SharedKernel(kern.double_slice, {"values": values})
+    assert np.array_equal(ranged(3, 17), values[3:17] * 2)
+
+    gather = SharedKernel(kern.gather_vals, {"values": values})
+    work = np.array([1, 5, 7, 30], dtype=np.int64)
+    assert np.array_equal(gather(work), values[work])
+
+    offset = SharedKernel(kern.offset_slice, {"values": values})
+    assert np.array_equal(
+        offset.with_args(100)(0, 10), values[:10] + 100
+    )
+    # with_args reuses the publications, only the scalars change
+    assert offset.with_args(5).refs is offset.refs
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_map_on_mp_pool_matches_inline(workers):
+    values = np.arange(10_000, dtype=np.int64) * 3
+    kernel = SharedKernel(kern.double_slice, {"values": values})
+    parts = [(0, 2_500), (2_500, 6_000), (6_000, 10_000)]
+    before = mp_pool_stats()["mp_dispatches"]
+    results = map_on_mp_pool(workers, kernel, parts)
+    assert results is not None
+    assert mp_pool_stats()["mp_dispatches"] == before + 1
+    for (lo, hi), out in zip(parts, results):
+        assert np.array_equal(out, values[lo:hi] * 2)
+
+    gather = SharedKernel(kern.gather_vals, {"values": values})
+    groups = [
+        np.array([0, 7, 11], dtype=np.int64),
+        np.array([5_000, 9_999], dtype=np.int64),
+    ]
+    results = map_on_mp_pool(workers, gather, groups)
+    assert results is not None
+    for group, out in zip(groups, results):
+        assert np.array_equal(out, values[group])
+
+
+def test_shared_state_master_writes_visible_to_workers():
+    state = shared_state(np.zeros(6_000, dtype=np.int64))
+    assert owned_segments()  # state always gets a segment
+    kernel = SharedKernel(kern.read_state, {"state": state})
+
+    (out,) = map_on_mp_pool(1, kernel, [(0, 6_000)])
+    assert not out.any()
+
+    state[...] = 7  # the master's reconcile-phase write
+    (out,) = map_on_mp_pool(1, kernel, [(0, 6_000)])
+    assert (out == 7).all()
+
+
+def test_kernel_exceptions_propagate():
+    values = np.arange(16, dtype=np.int64)
+    kernel = SharedKernel(kern.raise_value_error, {"values": values})
+    with pytest.raises(ValueError, match="kernel failure propagates"):
+        map_on_mp_pool(1, kernel, [(0, 16)])
+    # the pool survives a kernel error: next dispatch works
+    ok = SharedKernel(kern.double_slice, {"values": values})
+    (out,) = map_on_mp_pool(1, ok, [(0, 16)])
+    assert np.array_equal(out, values * 2)
+
+
+def test_broken_pool_returns_none_and_recovers():
+    # workers=3 so the pool we break is not the one other tests reuse
+    values = np.arange(16, dtype=np.int64)
+    killer = SharedKernel(kern.kill_worker, {"values": values})
+    assert map_on_mp_pool(3, killer, [(0, 16)]) is None
+    # the broken pool was evicted; a fresh one serves the next wave
+    ok = SharedKernel(kern.double_slice, {"values": values})
+    (out,) = map_on_mp_pool(3, ok, [(0, 16)])
+    assert np.array_equal(out, values * 2)
+
+
+# ----------------------------------------------------------------------
+# MPWaveEngine primitives
+# ----------------------------------------------------------------------
+
+
+def _mp_engine(n, workers, num_shards):
+    """An MPWaveEngine over a synthetic uniform-degree offset array,
+    gates zeroed so tiny waves genuinely dispatch to processes."""
+    offsets = np.arange(0, 4 * (n + 1), 4, dtype=np.int64)
+    engine = engine_for_offsets(offsets, workers, num_shards, mp=True)
+    engine.min_gather_work = 0
+    engine.min_scan_items = 0
+    serial = engine_for_offsets(offsets, 1, num_shards)
+    return engine, serial
+
+
+def test_engine_for_flags_and_gate_defaults():
+    snap = CSRGraph.from_multigraph(random_multigraph(2))
+    thread = engine_for(snap, workers=2)
+    proc = engine_for(snap, workers=2, mp=True)
+    assert isinstance(proc, MPWaveEngine) and proc.mp
+    assert type(thread) is WaveEngine and not thread.mp
+    assert proc.workers == 2
+    # mp dispatch costs ~20x a thread dispatch; the gates say so
+    assert proc.min_gather_work == MP_FAN_OUT_MIN_HALF_EDGES
+    assert proc.min_scan_items == MP_FAN_OUT_MIN_SCAN_VERTICES
+    assert proc.min_gather_work > thread.min_gather_work
+
+
+def test_mp_engine_gather_scan_map_match_serial():
+    n = 600
+    values = np.arange(n, dtype=np.int64) - 100  # mixed signs for scans
+    engine, serial = _mp_engine(n, workers=2, num_shards=5)
+
+    gather = SharedKernel(kern.gather_vals, {"values": values})
+    work = np.arange(0, n, 3, dtype=np.int64)
+    before = mp_pool_stats()["mp_dispatches"]
+    assert np.array_equal(
+        engine.gather(gather, work, cost=int(work.size)),
+        serial.gather(gather, work, cost=int(work.size)),
+    )
+
+    scan = SharedKernel(kern.positive_scan, {"values": values})
+    assert np.array_equal(
+        engine.scan_shards(scan), serial.scan_shards(scan)
+    )
+
+    ranged = SharedKernel(kern.double_slice, {"values": values})
+    assert np.array_equal(
+        np.concatenate(engine.map_ranges(ranged, n, cost=n)),
+        np.concatenate(serial.map_ranges(ranged, n, cost=n)),
+    )
+    # all three waves actually crossed the process boundary
+    assert mp_pool_stats()["mp_dispatches"] >= before + 3
+    assert engine.dispatches >= 3
+
+
+def test_mp_engine_closures_fall_through_to_thread_path():
+    n = 200
+    values = np.arange(n, dtype=np.int64)
+    engine, _ = _mp_engine(n, workers=2, num_shards=3)
+    before = mp_pool_stats()["mp_dispatches"]
+
+    def scan(lo, hi):
+        return np.arange(lo, hi, dtype=np.int64)
+
+    out = engine.scan_shards(scan)
+    assert np.array_equal(out, np.arange(n, dtype=np.int64))
+
+    def gather(part):
+        return values[part]
+
+    work = np.arange(n, dtype=np.int64)
+    assert np.array_equal(
+        engine.gather(gather, work, cost=n), values
+    )
+    # closures never ship to processes (they cannot pickle by path)
+    assert mp_pool_stats()["mp_dispatches"] == before
+
+
+# ----------------------------------------------------------------------
+# End to end: mp peeling == serial peeling, real process dispatch
+# ----------------------------------------------------------------------
+
+
+def _peel_all(view):
+    """Peel to exhaustion at ascending thresholds; the full wave
+    transcript (threshold, removed-indices) identifies the run."""
+    waves = []
+    threshold = 0
+    while view.alive_count:
+        removed = view.peel_leq(threshold)
+        if removed.size == 0:
+            threshold += 1
+            continue
+        waves.append((threshold, removed.copy()))
+    return waves
+
+
+@pytest.mark.parametrize("seed", [0, 1, 3, 5, 7, 11, 42, 199])
+def test_mp_peeling_matches_serial(seed):
+    snap = CSRGraph.from_multigraph(random_multigraph(seed))
+    reference = _peel_all(PeelingView(snap))
+
+    for workers in (1, 2, 4):
+        for num_shards in (1, 3):
+            plan = ShardPlan.from_snapshot(snap, num_shards)
+            view = ShardedPeelingView(snap, plan, workers, mp=True)
+            assert view.engine.mp
+            # zero the gates: these graphs are far below the real
+            # cutoffs, and the point is to cross the process boundary
+            view.engine.min_gather_work = 0
+            view.engine.min_scan_items = 0
+            waves = _peel_all(view)
+            assert len(waves) == len(reference)
+            for (t_ref, r_ref), (t_mp, r_mp) in zip(reference, waves):
+                assert t_ref == t_mp
+                assert np.array_equal(r_ref, r_mp)
+
+
+def test_mp_peeling_dispatches_to_processes():
+    snap = CSRGraph.from_multigraph(random_multigraph(4))
+    plan = ShardPlan.from_snapshot(snap, 3)
+    view = ShardedPeelingView(snap, plan, workers=2, mp=True)
+    view.engine.min_gather_work = 0
+    view.engine.min_scan_items = 0
+    before = mp_pool_stats()["mp_dispatches"]
+    _peel_all(view)
+    after = mp_pool_stats()
+    assert after["mp_dispatches"] > before  # real process round-trips
+    assert after["mp_pools"] >= 1
+    assert after["shm_segments"] >= 2  # alive + remaining state
+
+
+def test_engine_shutdown_reclaims_pools_and_segments():
+    snap = CSRGraph.from_multigraph(random_multigraph(9))
+    view = ShardedPeelingView(snap, workers=2, mp=True)
+    view.engine.min_gather_work = 0
+    view.engine.min_scan_items = 0
+    view.peel_leq(1)
+    assert mp_pool_stats()["shm_segments"] >= 2
+    assert _shm_files()
+
+    engine_mod.shutdown()
+
+    stats = mp_pool_stats()
+    assert stats["mp_pools"] == 0
+    assert stats["shm_segments"] == 0
+    assert owned_segments() == []
+    assert _shm_files() == []

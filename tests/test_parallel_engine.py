@@ -200,7 +200,10 @@ def test_session_cache_info_surfaces_pool_stats():
     graph = MultiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
     info = Session(graph).cache_info()
     pools = info["worker_pools"]
-    assert set(pools) == {"pools", "workers", "dispatches"}
+    assert set(pools) == {
+        "pools", "workers", "dispatches",
+        "mp_pools", "mp_workers", "mp_dispatches", "shm_segments",
+    }
     assert all(isinstance(value, int) for value in pools.values())
 
 
@@ -299,6 +302,7 @@ def test_force_env_flags(monkeypatch):
     from repro.graph.csr import force_parallel_traversal, force_sharded_peeling
 
     monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+    monkeypatch.delenv("REPRO_FORCE_MP", raising=False)
     monkeypatch.delenv("REPRO_FORCE_SHARDED", raising=False)
     assert not force_sharded_peeling()
     assert not force_parallel_traversal()
@@ -319,6 +323,7 @@ def test_force_sharded_alone_reroutes_peel(monkeypatch):
     from repro.decomposition.hpartition import h_partition
 
     monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+    monkeypatch.delenv("REPRO_FORCE_MP", raising=False)
     monkeypatch.setenv("REPRO_FORCE_SHARDED", "1")
     builds = []
     original_init = shard_module.ShardedPeelingView.__init__

@@ -236,7 +236,18 @@ def test_daemon_shutdown_reclaims_worker_pools(tmp_path):
     client.close()
     assert server.wait_for_shutdown(10)
     server.stop()
-    assert pool_stats()["pools"] == 0
+    stats = pool_stats()
+    assert stats["pools"] == 0
+    # the mp backend's resources obey the same lifecycle: no process
+    # pools and no shared-memory segments may survive engine shutdown
+    assert stats["mp_pools"] == 0
+    assert stats["shm_segments"] == 0
+    if os.path.isdir("/dev/shm"):
+        leaked = [
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(f"repro-shm-{os.getpid()}-")
+        ]
+        assert leaked == []
     # checkpoint-on-exit happened
     assert checkpoint_mod.load(str(tmp_path)) is not None
 
